@@ -1,0 +1,48 @@
+"""Ablation A1 — where does the bare-metal speedup come from?
+
+Sweeps the Linux driver-stack overheads from zero to the calibrated
+ESP values, separating the three effects the paper conflates: clock
+frequency (100 vs 50 MHz), accelerator time, and the software stack.
+"""
+
+from __future__ import annotations
+
+from repro.harness import format_table, run_ablation_baremetal
+
+from benchmarks.conftest import single_shot
+
+
+def test_ablation_overhead_sweep(benchmark, report):
+    points = single_shot(benchmark, lambda: run_ablation_baremetal("lenet5"))
+    report(
+        format_table(
+            ["configuration", "cycles", "ms"],
+            [[p.label, f"{p.cycles:,}", f"{p.ms:.2f}"] for p in points],
+            title="Ablation A1 — bare-metal vs Linux-driver overheads (LeNet-5)",
+        )
+    )
+    bare = points[0]
+    linux = {p.value: p for p in points[1:]}
+
+    # With zero software overhead the 50 MHz Linux run is just the
+    # accelerator at half clock: ~2x the bare-metal latency.
+    zero = linux[0.0]
+    assert 1.0 <= zero.ms / bare.ms <= 6.0
+
+    # The full stack is dominated by the fixed init: >= 40x bare metal.
+    full = linux[1.0]
+    assert full.ms / bare.ms > 40
+
+    # Init accounts for the lion's share of the full-stack latency.
+    assert full.detail["init_ms"] / full.ms > 0.8
+
+
+def test_ablation_resnet18_less_overhead_bound(benchmark, report):
+    points = single_shot(benchmark, lambda: run_ablation_baremetal("resnet18"))
+    bare = points[0]
+    full = next(p for p in points if p.value == 1.0)
+    ratio = full.ms / bare.ms
+    report(f"resnet18: bare {bare.ms:.1f} ms vs linux {full.ms:.1f} ms ({ratio:.1f}x)")
+    # Bigger model -> accelerator time grows -> smaller relative gap
+    # than LeNet's, but still an order of magnitude here.
+    assert 2 < ratio < 60

@@ -1,0 +1,32 @@
+"""Ablation A3 — system-clock sweep.
+
+Table II reports 100 MHz and compares against the ESP platform's
+50 MHz; this sweep separates the clock effect from everything else:
+in a single-clock-domain SoC, cycle counts are frequency-invariant and
+latency is exactly 1/f.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import format_table
+from repro.harness.experiments import run_ablation_frequency
+
+from benchmarks.conftest import single_shot
+
+
+def test_ablation_frequency_sweep(benchmark, report):
+    points = single_shot(benchmark, lambda: run_ablation_frequency("lenet5"))
+    report(
+        format_table(
+            ["clock", "cycles", "ms"],
+            [[p.label, f"{p.cycles:,}", f"{p.ms:.2f}"] for p in points],
+            title="Ablation A3 — system-clock sweep (LeNet-5, nv_small)",
+        )
+    )
+    cycles = {p.cycles for p in points}
+    assert len(cycles) == 1, "cycle count must be frequency-invariant"
+    by_freq = {p.value: p for p in points}
+    assert by_freq[50].ms == pytest.approx(2 * by_freq[100].ms, rel=1e-6)
+    assert by_freq[100].ms == pytest.approx(3 * by_freq[300].ms, rel=1e-6)

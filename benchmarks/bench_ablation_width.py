@@ -1,0 +1,40 @@
+"""Ablation A2 — memory-path width sweep (paper §VI).
+
+"The current design ... with the flexibility to support nv_full by
+modifying parameters such as the AXI interface width (e.g., from
+64-bit to 512-bit)."  This sweep quantifies that sentence on
+ResNet-50/nv_full: latency versus the memory-path width.
+"""
+
+from __future__ import annotations
+
+from repro.harness import format_table, run_ablation_width
+
+from benchmarks.conftest import single_shot
+
+
+def test_ablation_width_sweep(benchmark, report):
+    points = single_shot(benchmark, lambda: run_ablation_width("resnet50"))
+    report(
+        format_table(
+            ["memory path", "cycles", "ms@100MHz"],
+            [[p.label, f"{p.cycles:,}", f"{p.ms:.1f}"] for p in points],
+            title="Ablation A2 — AXI/memory width sweep (ResNet-50, nv_full FP16)",
+        )
+    )
+    by_width = {p.value: p for p in points}
+
+    # Latency must be monotone non-increasing in width.
+    widths = sorted(by_width)
+    for narrow, wide in zip(widths, widths[1:]):
+        assert by_width[wide].cycles <= by_width[narrow].cycles
+
+    # The paper's point: 32-bit (the nv_small converter) strangles
+    # nv_full; widening it recovers a large factor.
+    assert by_width[32].cycles / by_width[512].cycles > 2.0
+
+    # Diminishing returns once compute dominates: the last doubling
+    # helps less than the first.
+    first_gain = by_width[32].cycles / by_width[64].cycles
+    last_gain = by_width[256].cycles / by_width[512].cycles
+    assert first_gain > last_gain

@@ -1,0 +1,66 @@
+"""Figures 1-4 — architecture/flow diagrams regenerated from live objects.
+
+The paper's figures are block diagrams; their reproduction is renderers
+driven by the real system instances, checked for the structural facts
+each figure communicates.
+"""
+
+from __future__ import annotations
+
+from repro.harness import run_fig1, run_fig2, run_fig3, run_fig4
+
+from benchmarks.conftest import single_shot
+
+
+def test_fig1_software_flow(benchmark, report):
+    text = single_shot(benchmark, lambda: run_fig1("lenet5"))
+    report(text)
+    # The five flow stages of Fig. 1, in order.
+    for stage in (
+        "trained model",
+        "NVDLA compiler",
+        "virtual platform",
+        "trace converter",
+        "RISC-V assembler",
+        "deployment images",
+    ):
+        assert stage in text
+    assert text.index("NVDLA compiler") < text.index("virtual platform")
+    assert text.index("trace converter") < text.index("RISC-V assembler")
+
+
+def test_fig2_soc_architecture(benchmark, report):
+    text = single_shot(benchmark, lambda: run_fig2())
+    report(text)
+    # The components and the address map of Fig. 2.
+    for component in (
+        "uRISC-V core",
+        "system bus",
+        "NVDLA wrapper",
+        "AHB->APB bridge",
+        "APB->CSB adapter",
+        "AXI width",
+        "arbiter",
+        "DRAM",
+        "program memory",
+    ):
+        assert component in text
+    assert "0x100000" in text  # DRAM window base
+    assert "512 MiB" in text
+
+
+def test_fig3_virtual_platform(benchmark, report):
+    text = single_shot(benchmark, lambda: run_fig3("lenet5"))
+    report(text)
+    assert "csb_adaptor" in text and "dbb_adaptor" in text
+    assert "runtime" in text
+    assert "same address map as the SoC" in text
+
+
+def test_fig4_test_setup(benchmark, report):
+    text = single_shot(benchmark, lambda: run_fig4("lenet5"))
+    report(text)
+    for component in ("Zynq PS", "SmartConnect", "AXI Interconnect", "MIG DDR4"):
+        assert component in text
+    assert "300/100" in text  # the clock-domain crossing
+    assert "owner: soc" in text  # mux handed over after preload

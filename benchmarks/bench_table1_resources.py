@@ -1,0 +1,61 @@
+"""Table I — FPGA resource utilisation on the ZCU102.
+
+Regenerates every row of the paper's Table I from the calibrated
+parametric resource model, and reproduces the nv_full synthesis
+observation (substantial LUT over-utilisation).
+"""
+
+from __future__ import annotations
+
+from repro.fpga import ZCU102, synthesize
+from repro.harness import format_table, run_table1
+from repro.harness.experiments import run_table1_nv_full_check
+from repro.nvdla import NV_FULL, NV_SMALL
+
+from benchmarks.conftest import single_shot
+
+PAPER_ROWS = {
+    "Overall System Set-up": 96733,
+    "Our SoC": 81986,
+    "nv_small NVDLA": 74575,
+    "uRISC_V core": 6346,
+}
+
+
+def test_table1_utilization(benchmark, report):
+    table = single_shot(benchmark, run_table1)
+    report(table.render())
+
+    # Shape assertions: every published LUT figure within 2%.
+    for row, paper_luts in PAPER_ROWS.items():
+        measured = table.rows[row].luts
+        assert abs(measured - paper_luts) / paper_luts < 0.02, (row, measured)
+    # The whole setup fits the device with headroom (paper: it runs).
+    assert ZCU102.fits(table.rows["Overall System Set-up"])
+
+
+def test_table1_nv_full_overutilization(benchmark, report):
+    violations = single_shot(benchmark, run_table1_nv_full_check)
+    result = synthesize(NV_FULL, ZCU102)
+    report(result.render())
+    assert violations, "nv_full must not fit the ZCU102"
+    assert result.utilization["luts"] > synthesize(NV_SMALL, ZCU102).utilization["luts"] * 4
+
+
+def test_table1_row_ordering(benchmark, report):
+    """NVDLA dominates the SoC; the SoC dominates the support IP."""
+    table = single_shot(benchmark, run_table1)
+    rows = table.rows
+    assert rows["nv_small NVDLA"].luts > rows["uRISC_V core"].luts * 10
+    assert rows["Our SoC"].luts > rows["MIG DDR4"].luts + rows["AXI SmartConnect"].luts
+    assert rows["Program Memory"].bram_tiles > rows["nv_small NVDLA"].bram_tiles
+    report(
+        format_table(
+            ["component", "LUTs", "BRAM", "DSP"],
+            [
+                [name, f"{vec.luts:.0f}", f"{vec.bram_tiles:g}", f"{vec.dsps:.0f}"]
+                for name, vec in rows.items()
+            ],
+            title="Table I key columns",
+        )
+    )

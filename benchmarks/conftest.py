@@ -1,0 +1,33 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one paper artefact (table or figure),
+prints the paper-vs-measured rows, and asserts the *shape* of the
+result (ordering, win/lose relations, crossovers) rather than absolute
+numbers — the substrate is a simulator, not the authors' ZCU102.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def single_shot(benchmark, fn):
+    """Run an expensive experiment exactly once under the timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a report so it survives pytest's capture with -s or on
+    failure, and stash it for the terminal summary."""
+
+    def _report(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _report

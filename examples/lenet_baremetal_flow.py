@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Fig. 1 walkthrough: every artefact of the software-generation flow.
+
+Dumps each intermediate of the paper's offline flow for LeNet-5 into
+``./flow_artifacts/``:
+
+- ``lenet5.prototxt``            — the Caffe-style model description,
+- ``lenet5.calib``               — the INT8 calibration table,
+- ``lenet5.loadable``            — the compiled loadable,
+- ``vp_trace.log``               — the VP's csb/dbb transaction log,
+- ``lenet5.cfg``                 — the read_reg/write_reg config file,
+- ``lenet5.S`` / ``lenet5.mem``  — generated assembly and machine code,
+- ``weights.bin`` / ``input.bin``— the DRAM preload images,
+- ``fig1.txt``                   — the flow diagram with real sizes.
+
+Usage::
+
+    python examples/lenet_baremetal_flow.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.baremetal import generate_baremetal
+from repro.diagrams import render_fig1_software_flow
+from repro.nn.caffe_proto import to_prototxt
+from repro.nn.quantize import calibrate_network
+from repro.nn.zoo import lenet5
+from repro.nvdla import NV_SMALL
+
+
+def main(output_dir: str = "flow_artifacts") -> None:
+    out = Path(output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    net = lenet5()
+    print(f"generating bare-metal flow artefacts for {net.name} -> {out}/")
+
+    (out / "lenet5.prototxt").write_text(to_prototxt(net))
+    table = calibrate_network(net, samples=2)
+    (out / "lenet5.calib").write_text(table.to_text())
+
+    bundle = generate_baremetal(net, NV_SMALL)
+    (out / "lenet5.loadable").write_bytes(bundle.loadable.to_bytes())
+    (out / "vp_trace.log").write_text(bundle.trace.render())
+    (out / "lenet5.cfg").write_text(bundle.config_file_text)
+    (out / "lenet5.S").write_text(bundle.assembly)
+    (out / "lenet5.mem").write_text(bundle.images.program_mem)
+    for image in bundle.images.preload:
+        (out / image.name).write_bytes(image.data)
+        print(f"  {image.name}: {image.size:,} bytes @ 0x{image.load_address:08x}")
+
+    diagram = render_fig1_software_flow(bundle)
+    (out / "fig1.txt").write_text(diagram)
+    print()
+    print(diagram)
+    print()
+    print(f"trace:   {len(bundle.trace.csb)} csb + {len(bundle.trace.dbb)} dbb transactions")
+    print(f"config:  {len(bundle.commands)} commands")
+    print(f"program: {len(bundle.program.words)} words ({bundle.program.size_bytes / 1024:.1f} KiB)")
+    print(f"all artefacts in {out.resolve()}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "flow_artifacts")

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: LeNet-5 through the complete bare-metal flow.
+
+Runs the whole of the paper in one script:
+
+1. build LeNet-5 (the Caffe-equivalent model),
+2. compile it for nv_small and execute it on the virtual platform,
+   capturing the CSB/DBB trace,
+3. convert the trace into a configuration file and RISC-V assembly,
+4. run the generated machine code on the SoC model (µRISC-V + NVDLA),
+5. compare the SoC output with the float reference and report the
+   latency against the paper's Table II row (4.8 ms @ 100 MHz).
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baremetal import generate_baremetal
+from repro.core import Soc
+from repro.nn import ReferenceExecutor
+from repro.nn.zoo import lenet5
+from repro.nvdla import NV_SMALL
+
+
+def main() -> None:
+    print("=== 1. model ===")
+    net = lenet5()
+    print(
+        f"{net.name}: {net.layer_count()} layers, "
+        f"{net.parameter_count():,} parameters "
+        f"({net.model_size_bytes() / 1e6:.1f} MB fp32)"
+    )
+
+    print("\n=== 2-3. offline flow (compile -> VP trace -> assembly) ===")
+    rng = np.random.default_rng(2024)
+    image = rng.uniform(-1.0, 1.0, net.input_shape).astype(np.float32)
+    bundle = generate_baremetal(net, NV_SMALL, input_image=image)
+    print(bundle.describe())
+
+    print("\n=== 4. bare-metal execution on the SoC ===")
+    soc = Soc(NV_SMALL, frequency_hz=100e6)
+    soc.load_bundle(bundle)
+    result = soc.run_inference(bundle)
+    status = "DONE" if result.ok else f"FAIL at command {result.fail_index}"
+    print(f"self-check status: {status}")
+    print(
+        f"latency: {result.cycles:,} cycles = {result.milliseconds:.2f} ms "
+        f"@ 100 MHz   (paper Table II: 4.8 ms)"
+    )
+    print(
+        f"CPU: {result.stats.instructions:,} instructions; "
+        f"{result.stats.poll_fraction * 100:.1f}% of cycles spent waiting on NVDLA"
+    )
+
+    print("\n=== 5. validation against the float reference ===")
+    executor = ReferenceExecutor(net)
+    executor.run(image, record_blobs=True)
+    expected = executor.blobs["ip2"]  # pre-softmax logits
+    error = np.abs(result.output - expected).max() / np.abs(expected).max()
+    print(f"SoC output vs float reference: max relative error {error * 100:.1f}% (INT8)")
+    print(f"SoC output == VP output bit-exactly: {np.array_equal(result.output, bundle.vp_result.output)}")
+    print(f"top-1 class: soc={int(np.argmax(result.output))} reference={int(np.argmax(expected))}")
+
+
+if __name__ == "__main__":
+    main()

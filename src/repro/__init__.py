@@ -1,0 +1,52 @@
+"""repro — Bare-Metal RISC-V + NVDLA SoC for Efficient Deep Learning Inference.
+
+A full-system Python reproduction of the SOCC 2025 paper: the NVDLA
+accelerator model (nv_small / nv_full), a µRISC-V RV32IM core with
+assembler and 4-stage pipeline timing, the AHB/APB/AXI bus fabric of
+the published SoC, the Caffe-equivalent network substrate and NVDLA
+compiler, the virtual platform that captures CSB/DBB traces, and the
+bare-metal flow that turns those traces into self-checking RISC-V
+programs.
+
+Quickstart::
+
+    from repro import quick_inference
+    result = quick_inference("lenet5")
+    print(result.milliseconds, "ms @ 100 MHz")
+
+or step by step::
+
+    from repro.nn.zoo import lenet5
+    from repro.nvdla import NV_SMALL
+    from repro.baremetal import generate_baremetal
+    from repro.core import Soc
+
+    bundle = generate_baremetal(lenet5(), NV_SMALL)
+    soc = Soc(NV_SMALL)
+    soc.load_bundle(bundle)
+    result = soc.run_inference(bundle)
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "__version__", "quick_inference"]
+
+
+def quick_inference(model: str = "lenet5", config_name: str = "nv_small", fidelity: str = "functional"):
+    """One-call demo: full flow for a zoo model on a named config.
+
+    Returns the :class:`~repro.core.soc.SocRunResult` of the bare-metal
+    run.  See ``examples/quickstart.py`` for the expanded version.
+    """
+    from repro.baremetal import generate_baremetal
+    from repro.core import Soc
+    from repro.nn.zoo import ZOO
+    from repro.nvdla.config import get_config
+
+    config = get_config(config_name)
+    bundle = generate_baremetal(ZOO[model](), config, fidelity=fidelity)
+    soc = Soc(config, fidelity=fidelity)
+    soc.load_bundle(bundle)
+    return soc.run_inference(bundle)

@@ -1,0 +1,40 @@
+"""The bare-metal software-generation flow (paper Fig. 1).
+
+This is the paper's headline contribution: converting a VP execution
+trace into a standalone RISC-V program that drives NVDLA with plain
+load/store instructions — no Linux kernel, no driver stack.
+
+Stages (each a module, composable via :mod:`repro.baremetal.pipeline`):
+
+1. :mod:`repro.baremetal.trace_to_config` — filter ``csb_adaptor``
+   lines into a *configuration file* of ``write_reg`` / ``read_reg``
+   commands (:mod:`repro.baremetal.config_file`),
+2. :mod:`repro.baremetal.weight_extract` — reconstruct the initial
+   DRAM image (weights + input) from ``dbb_adaptor`` lines, keeping
+   the first access per address and discarding locations NVDLA wrote
+   before reading,
+3. :mod:`repro.baremetal.codegen` — emit self-checking RISC-V
+   assembly: stores for writes, bounded poll loops for reads,
+4. assembly → machine code via :mod:`repro.riscv.assembler`, packaged
+   as ``.mem`` (program BRAM) and ``.bin`` (DRAM preload) images.
+"""
+
+from repro.baremetal.config_file import ConfigCommand, parse_config_file, render_config_file
+from repro.baremetal.trace_to_config import trace_to_config
+from repro.baremetal.weight_extract import MemorySegment, extract_initial_memory, split_by_regions
+from repro.baremetal.codegen import CodegenOptions, generate_assembly
+from repro.baremetal.pipeline import BaremetalBundle, generate_baremetal
+
+__all__ = [
+    "BaremetalBundle",
+    "CodegenOptions",
+    "ConfigCommand",
+    "MemorySegment",
+    "extract_initial_memory",
+    "generate_assembly",
+    "generate_baremetal",
+    "parse_config_file",
+    "render_config_file",
+    "split_by_regions",
+    "trace_to_config",
+]

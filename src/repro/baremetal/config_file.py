@@ -1,0 +1,75 @@
+"""The configuration-file format.
+
+The intermediate artefact between the VP trace and the generated
+assembly, matching the command vocabulary of NVDLA's register traces::
+
+    write_reg 0x0000b010 0x00000001
+    read_reg  0x0000000c 0x00000004 0x00000004
+
+``read_reg`` carries the expected value and a mask; its execution
+semantic (implemented by the generated code) is *poll until
+``(value & mask) == expected``*, with a bounded retry count — which is
+how status/interrupt reads behave, and degenerates to a single
+read-and-compare for plain registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CodegenError
+
+
+@dataclass(frozen=True)
+class ConfigCommand:
+    """One register command."""
+
+    kind: str  # 'write_reg' | 'read_reg'
+    address: int
+    data: int
+    mask: int = 0xFFFFFFFF
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("write_reg", "read_reg"):
+            raise CodegenError(f"unknown config command {self.kind!r}")
+        if not 0 <= self.address <= 0xFFFFFFFF:
+            raise CodegenError(f"address 0x{self.address:x} out of range")
+
+    def render(self) -> str:
+        if self.kind == "write_reg":
+            return f"write_reg 0x{self.address:08x} 0x{self.data:08x}"
+        return f"read_reg  0x{self.address:08x} 0x{self.data:08x} 0x{self.mask:08x}"
+
+
+def render_config_file(commands: list[ConfigCommand], header: str | None = None) -> str:
+    """Serialise a command list, with an optional comment header."""
+    lines: list[str] = []
+    if header:
+        lines.extend(f"# {line}" for line in header.splitlines())
+    lines.extend(command.render() for command in commands)
+    return "\n".join(lines) + "\n"
+
+
+def parse_config_file(text: str) -> list[ConfigCommand]:
+    """Parse a configuration file back into commands."""
+    commands: list[ConfigCommand] = []
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        try:
+            if parts[0] == "write_reg" and len(parts) == 3:
+                commands.append(
+                    ConfigCommand("write_reg", int(parts[1], 16), int(parts[2], 16))
+                )
+            elif parts[0] == "read_reg" and len(parts) in (3, 4):
+                mask = int(parts[3], 16) if len(parts) == 4 else 0xFFFFFFFF
+                commands.append(
+                    ConfigCommand("read_reg", int(parts[1], 16), int(parts[2], 16), mask)
+                )
+            else:
+                raise ValueError("unrecognised command")
+        except (ValueError, IndexError) as exc:
+            raise CodegenError(f"config file line {line_no}: {raw_line!r}: {exc}") from exc
+    return commands

@@ -1,0 +1,64 @@
+"""Deployment image helpers: ``.mem`` and ``.bin`` artefacts.
+
+The paper's flow produces two kinds of files: the machine code in
+``.mem`` format (loaded into the program BRAMs) and weight/input blobs
+in ``.bin`` format (preloaded into DDR4 by the Zynq PS).  This module
+packages both from flow outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baremetal.weight_extract import MemorySegment
+from repro.errors import CodegenError
+from repro.riscv.program import Program
+
+
+@dataclass(frozen=True)
+class BinImage:
+    """A ``.bin`` file plus the DRAM address it loads at."""
+
+    name: str
+    load_address: int
+    data: bytes
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+def segments_to_bin(name: str, segments: list[MemorySegment], fill: int = 0) -> BinImage:
+    """Flatten segments into one contiguous ``.bin`` (gaps filled)."""
+    if not segments:
+        raise CodegenError(f"no segments to build image {name!r}")
+    ordered = sorted(segments, key=lambda s: s.address)
+    base = ordered[0].address
+    end = max(s.end for s in ordered)
+    blob = bytearray([fill]) * (end - base)
+    for segment in ordered:
+        blob[segment.address - base : segment.end - base] = segment.data
+    return BinImage(name=name, load_address=base, data=bytes(blob))
+
+
+@dataclass
+class DeploymentImages:
+    """Everything the FPGA bring-up needs."""
+
+    program_mem: str  # .mem text for the program BRAM
+    program: Program
+    preload: list[BinImage] = field(default_factory=list)
+
+    def preload_bytes(self) -> int:
+        return sum(image.size for image in self.preload)
+
+    def describe(self) -> str:
+        lines = [
+            f"program: {self.program.size_bytes / 1024:.1f} KiB "
+            f"({len(self.program.words)} words) @ 0x{self.program.base:08x}"
+        ]
+        for image in self.preload:
+            lines.append(
+                f"preload {image.name}: {image.size / 1024:.1f} KiB @ 0x{image.load_address:08x}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,164 @@
+"""The end-to-end offline flow: model → bare-metal artefacts.
+
+Composes the whole of the paper's Fig. 1 in one call::
+
+    bundle = generate_baremetal(lenet5(), NV_SMALL)
+
+running: compile → VP execution (trace capture) → configuration file →
+weight/input extraction → RISC-V assembly → machine code.  The bundle
+carries every intermediate artefact, so examples and tests can inspect
+any stage, and the SoC model consumes the final images directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baremetal.codegen import CodegenOptions, estimate_program_words, generate_assembly
+from repro.baremetal.config_file import ConfigCommand, render_config_file
+from repro.baremetal.image import BinImage, DeploymentImages, segments_to_bin
+from repro.baremetal.trace_to_config import trace_to_config
+from repro.baremetal.weight_extract import extract_initial_memory, split_by_regions
+from repro.compiler import CompileOptions, compile_network
+from repro.compiler.loadable import Loadable
+from repro.errors import CodegenError
+from repro.nn.graph import Network
+from repro.nvdla.config import HardwareConfig, Precision
+from repro.riscv.assembler import assemble
+from repro.riscv.program import Program
+from repro.vp import InferenceResult, NvdlaRuntime, TraceLog, VirtualPlatform
+
+
+@dataclass
+class BaremetalBundle:
+    """All artefacts of one offline flow run."""
+
+    network: str
+    config: str
+    precision: Precision
+    loadable: Loadable
+    trace: TraceLog
+    commands: list[ConfigCommand]
+    assembly: str
+    program: Program
+    images: DeploymentImages
+    vp_result: InferenceResult
+    input_image: np.ndarray
+    fidelity: str = "functional"
+    notes: dict = field(default_factory=dict)
+
+    @property
+    def config_file_text(self) -> str:
+        return render_config_file(
+            self.commands,
+            header=(
+                f"configuration file for {self.network} on {self.config} "
+                f"({self.precision.value})"
+            ),
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"bare-metal bundle: {self.network} on {self.config} ({self.precision.value})",
+            f"  trace: {len(self.trace.csb)} csb + {len(self.trace.dbb)} dbb transactions",
+            f"  config file: {len(self.commands)} commands",
+            f"  program: {len(self.program.words)} words "
+            f"({self.program.size_bytes / 1024:.1f} KiB)",
+            self.images.describe(),
+        ]
+        return "\n".join(lines)
+
+
+def generate_baremetal(
+    net: Network,
+    config: HardwareConfig,
+    precision: Precision = Precision.INT8,
+    input_image: np.ndarray | None = None,
+    fidelity: str = "functional",
+    compile_options: CompileOptions | None = None,
+    codegen_options: CodegenOptions | None = None,
+    seed: int = 2024,
+) -> BaremetalBundle:
+    """Run the complete offline software-generation flow.
+
+    With ``fidelity="timing"`` the VP skips tensor computation and DBB
+    data logging (for ResNet-50-class models); weight extraction then
+    falls back to the loadable's own weight blob and packed input, so
+    the deployment images are still complete.
+    """
+    compile_options = compile_options or CompileOptions(precision=precision)
+    if compile_options.precision is not precision:
+        raise CodegenError("compile_options.precision disagrees with precision argument")
+    loadable = compile_network(net, config, compile_options)
+
+    platform = VirtualPlatform(config, fidelity=fidelity, trace=True)
+    runtime = NvdlaRuntime(platform)
+    runtime.deploy(loadable)
+    if input_image is None:
+        rng = np.random.default_rng(seed)
+        input_image = rng.uniform(-1.0, 1.0, size=net.input_shape).astype(np.float32)
+    runtime.set_input(input_image)
+    vp_result = runtime.execute()
+    trace = platform.trace
+    assert trace is not None
+
+    commands = trace_to_config(trace)
+    assembly = generate_assembly(
+        commands,
+        options=codegen_options,
+        header=(
+            f"bare-metal NVDLA driver for {net.name} on {config.name} "
+            f"({precision.value}); {len(commands)} register commands"
+        ),
+    )
+    program = assemble(assembly, base=0)
+    if len(program.words) < estimate_program_words(commands) // 8:
+        raise CodegenError("generated program is implausibly small")  # defensive
+
+    preload = _build_preload_images(trace, loadable, fidelity)
+    images = DeploymentImages(
+        program_mem=program.to_mem_file(),
+        program=program,
+        preload=preload,
+    )
+    return BaremetalBundle(
+        network=net.name,
+        config=config.name,
+        precision=precision,
+        loadable=loadable,
+        trace=trace,
+        commands=commands,
+        assembly=assembly,
+        program=program,
+        images=images,
+        vp_result=vp_result,
+        input_image=input_image,
+        fidelity=fidelity,
+        notes={"tiling": loadable.tiling_summary},
+    )
+
+
+def _build_preload_images(
+    trace: TraceLog, loadable: Loadable, fidelity: str
+) -> list[BinImage]:
+    """Weight/input ``.bin`` files, via trace extraction when possible."""
+    memory_map = loadable.memory_map
+    regions = {
+        "weights": (memory_map.weights.address, memory_map.weights.size),
+        "input": (memory_map.input.address, memory_map.input.size),
+    }
+    if fidelity == "functional" and trace.dbb:
+        segments = extract_initial_memory(trace)
+        by_region = split_by_regions(segments, regions)
+        images: list[BinImage] = []
+        if by_region["weights"]:
+            images.append(segments_to_bin("weights.bin", by_region["weights"]))
+        if by_region["input"]:
+            images.append(segments_to_bin("input.bin", by_region["input"]))
+        return images
+    # Timing-only runs have no DBB payloads; ship the compiler's blobs.
+    return [
+        BinImage("weights.bin", memory_map.weights.address, loadable.weight_blob),
+    ]

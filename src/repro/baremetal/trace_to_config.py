@@ -1,0 +1,40 @@
+"""VP trace → configuration file.
+
+Implements the paper's §IV-B step 2: filter the VP log for
+``nvdla.csb_adaptor`` entries and convert each into a register
+command — writes become ``write_reg``, reads become ``read_reg``
+"which store the expected register values".
+
+Reads of the GLB interrupt-status register get a mask equal to their
+expected value so the generated poll loop succeeds as soon as the
+completion bit is set, independent of unrelated status bits.
+"""
+
+from __future__ import annotations
+
+from repro.baremetal.config_file import ConfigCommand
+from repro.nvdla.csb import UNIT_BASES
+from repro.nvdla.units.glb import INTR_STATUS
+from repro.vp.trace_log import TraceLog, parse_trace
+
+_GLB_INTR_STATUS_ADDR = UNIT_BASES["GLB"] + INTR_STATUS
+
+
+def trace_to_config(trace: TraceLog) -> list[ConfigCommand]:
+    """Convert the CSB side of a trace into register commands."""
+    commands: list[ConfigCommand] = []
+    for txn in trace.csb:
+        if txn.iswrite:
+            commands.append(ConfigCommand("write_reg", txn.address, txn.data))
+            continue
+        if txn.address == _GLB_INTR_STATUS_ADDR and txn.data != 0:
+            mask = txn.data  # poll for exactly the completion bit(s)
+        else:
+            mask = 0xFFFFFFFF
+        commands.append(ConfigCommand("read_reg", txn.address, txn.data, mask))
+    return commands
+
+
+def trace_text_to_config(text: str) -> list[ConfigCommand]:
+    """Convenience: parse raw VP log text and convert it."""
+    return trace_to_config(parse_trace(text))

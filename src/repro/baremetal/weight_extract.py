@@ -1,0 +1,114 @@
+"""Weight extraction from DBB traces (paper §IV-B step 3).
+
+Reconstructs the initial DRAM contents NVDLA expects — the "weight
+file" plus the input image — from the data-backbone log:
+
+- a read from an address that was never written earlier in the trace
+  reveals an *initial* byte (weight or input),
+- a write marks the address as NVDLA-produced (intermediate
+  activations); later reads of it are ignored,
+- duplicate reads keep the first occurrence, per the paper: "duplicate
+  address entries in the weight file are deleted by retaining the
+  first occurrence, as they are the original weights."
+
+The result is a set of contiguous memory segments; ``.bin`` images for
+the Zynq preloader fall out directly, and
+:func:`split_by_regions` separates the weight file from the image
+file using the loadable's memory map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TraceError
+from repro.vp.trace_log import TraceLog
+
+
+@dataclass(frozen=True)
+class MemorySegment:
+    """A contiguous block of reconstructed initial memory."""
+
+    address: int
+    data: bytes
+
+    @property
+    def end(self) -> int:
+        return self.address + len(self.data)
+
+    def to_bin(self) -> bytes:
+        return self.data
+
+
+def extract_initial_memory(trace: TraceLog) -> list[MemorySegment]:
+    """Reconstruct initial DRAM state from the DBB transaction order."""
+    initial: dict[int, int] = {}
+    written: set[int] = set()
+    for txn in trace.dbb:
+        if txn.iswrite:
+            written.update(range(txn.address, txn.address + len(txn.data)))
+            continue
+        for offset, byte in enumerate(txn.data):
+            address = txn.address + offset
+            if address in written or address in initial:
+                continue  # intermediate data / duplicate read
+            initial[address] = byte
+    return _coalesce(initial)
+
+
+def _coalesce(bytes_by_address: dict[int, int]) -> list[MemorySegment]:
+    if not bytes_by_address:
+        return []
+    segments: list[MemorySegment] = []
+    addresses = sorted(bytes_by_address)
+    start = prev = addresses[0]
+    chunk = bytearray([bytes_by_address[start]])
+    for address in addresses[1:]:
+        if address == prev + 1:
+            chunk.append(bytes_by_address[address])
+        else:
+            segments.append(MemorySegment(start, bytes(chunk)))
+            start = address
+            chunk = bytearray([bytes_by_address[address]])
+        prev = address
+    segments.append(MemorySegment(start, bytes(chunk)))
+    return segments
+
+
+def split_by_regions(
+    segments: list[MemorySegment],
+    regions: dict[str, tuple[int, int]],
+) -> dict[str, list[MemorySegment]]:
+    """Assign segments to named ``(base, size)`` regions.
+
+    Segments crossing a region boundary are split; bytes outside every
+    region land under ``"other"``.
+    """
+    ordered = sorted(regions.items(), key=lambda item: item[1][0])
+    result: dict[str, list[MemorySegment]] = {name: [] for name, _ in ordered}
+    result["other"] = []
+
+    for segment in segments:
+        cursor = segment.address
+        end = segment.end
+        while cursor < end:
+            owner = "other"
+            slice_end = end
+            for name, (base, size) in ordered:
+                if base <= cursor < base + size:
+                    owner = name
+                    slice_end = min(end, base + size)
+                    break
+                if cursor < base < end:
+                    slice_end = min(slice_end, base)
+            data = segment.data[cursor - segment.address : slice_end - segment.address]
+            if data:
+                result[owner].append(MemorySegment(cursor, data))
+            if slice_end <= cursor:
+                raise TraceError("region split made no progress")  # pragma: no cover
+            cursor = slice_end
+    return result
+
+
+def total_bytes(segments: list[MemorySegment]) -> int:
+    return sum(len(s.data) for s in segments)

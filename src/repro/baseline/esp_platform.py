@@ -1,0 +1,46 @@
+"""The ESP comparison platform (Giri et al. [8]).
+
+Ariane (64-bit RISC-V) + NVDLA nv_small on an FPGA at 50 MHz, with
+the standard Linux user-mode/kernel-mode NVDLA driver stack — the
+"Proc. Time @50MHz" column of the paper's Table II (LeNet-5 263 ms,
+ResNet-50 2.5 s, ResNet-18 not reported).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baseline.linux_driver import LinuxDriverModel, LinuxOverheadParams, LinuxRunResult
+from repro.compiler import CompileOptions, compile_network
+from repro.compiler.loadable import Loadable
+from repro.nn.graph import Network
+from repro.nvdla.config import HardwareConfig, NV_SMALL, Precision
+
+#: Published measurements (milliseconds at 50 MHz) from [8] as quoted
+#: in the paper's Table II.
+ESP_PUBLISHED_MS = {"lenet5": 263.0, "resnet50": 2500.0}
+
+
+@dataclass
+class EspPlatform:
+    """Ariane + NVDLA under ESP/Linux at 50 MHz."""
+
+    config: HardwareConfig = NV_SMALL
+    frequency_hz: float = 50e6
+    params: LinuxOverheadParams = LinuxOverheadParams()
+
+    def run(self, loadable: Loadable) -> LinuxRunResult:
+        model = LinuxDriverModel(
+            self.config, frequency_hz=self.frequency_hz, params=self.params
+        )
+        return model.run(loadable)
+
+
+def run_esp_baseline(
+    net: Network,
+    config: HardwareConfig = NV_SMALL,
+    precision: Precision = Precision.INT8,
+) -> LinuxRunResult:
+    """Compile and time ``net`` on the ESP baseline platform."""
+    loadable = compile_network(net, config, CompileOptions(precision=precision))
+    return EspPlatform(config=config).run(loadable)

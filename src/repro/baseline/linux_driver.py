@@ -1,0 +1,116 @@
+"""Linux kernel driver-stack overhead model.
+
+The accelerator does the same work in the same number of accelerator
+cycles; what changes against the bare-metal flow is everything around
+it.  The model's terms, in CPU cycles at the platform frequency:
+
+``total = runtime_init + input_copy + Σ_ops (submit + hw_op + irq_path)
+          + output_copy``
+
+Defaults are calibrated so the ESP data points the paper quotes are
+reproduced: the dominant term for small models is the fixed runtime
+initialisation (loadable parsing + DMA buffer setup, ~250 ms at
+50 MHz), which is why the paper's bare-metal LeNet-5 beats the ESP
+number by ~55x while ResNet-50 — dominated by accelerator time —
+improves only ~2.3x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.loadable import Loadable
+from repro.errors import ExperimentError
+from repro.nvdla.config import HardwareConfig
+from repro.vp import NvdlaRuntime, VirtualPlatform
+
+
+@dataclass(frozen=True)
+class LinuxOverheadParams:
+    """Software-stack cost model (cycles at the platform clock)."""
+
+    runtime_init_cycles: int = 12_200_000  # open/mmap/parse/alloc (~244 ms @50 MHz)
+    submit_cycles_per_op: int = 30_000  # ioctl + KMD descriptor validation
+    irq_path_cycles_per_op: int = 12_000  # irq → bottom half → user wakeup
+    copy_bytes_per_cycle: float = 4.0  # kernel memcpy bandwidth
+
+
+@dataclass
+class LinuxRunResult:
+    """Latency breakdown of one kernel-mediated inference."""
+
+    cycles: int
+    seconds: float
+    hw_cycles: int
+    init_cycles: int
+    submit_cycles: int
+    irq_cycles: int
+    copy_cycles: int
+    ops: int
+    breakdown: dict = field(default_factory=dict)
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1e3
+
+    @property
+    def software_fraction(self) -> float:
+        return 1.0 - self.hw_cycles / self.cycles if self.cycles else 0.0
+
+
+class LinuxDriverModel:
+    """Executes a loadable under the modelled kernel driver stack."""
+
+    def __init__(
+        self,
+        config: HardwareConfig,
+        frequency_hz: float = 50e6,
+        params: LinuxOverheadParams | None = None,
+    ) -> None:
+        self.config = config
+        self.frequency_hz = frequency_hz
+        self.params = params or LinuxOverheadParams()
+
+    def run(self, loadable: Loadable) -> LinuxRunResult:
+        """Time one inference (accelerator timing via the VP model)."""
+        if loadable.config != self.config.name:
+            raise ExperimentError(
+                f"loadable is for {loadable.config}, baseline is {self.config.name}"
+            )
+        platform = VirtualPlatform(self.config, fidelity="timing", trace=False)
+        runtime = NvdlaRuntime(platform)
+        runtime.deploy(loadable)
+        hw_cycles = 0
+        op_count = loadable.hw_op_count()
+        import numpy as np
+
+        runtime.set_input(np.zeros(loadable.input_tensor.shape, dtype=np.float32))
+        result = runtime.execute()
+        hw_cycles = result.cycles
+
+        params = self.params
+        input_bytes = loadable.memory_map.input.size
+        output_bytes = loadable.output_tensor.packed_bytes(
+            self.config.atom_channels(loadable.output_tensor.precision)
+        )
+        copy_cycles = int((input_bytes + output_bytes) / params.copy_bytes_per_cycle)
+        submit = params.submit_cycles_per_op * op_count
+        irq = params.irq_path_cycles_per_op * op_count
+        total = params.runtime_init_cycles + copy_cycles + submit + irq + hw_cycles
+        return LinuxRunResult(
+            cycles=total,
+            seconds=total / self.frequency_hz,
+            hw_cycles=hw_cycles,
+            init_cycles=params.runtime_init_cycles,
+            submit_cycles=submit,
+            irq_cycles=irq,
+            copy_cycles=copy_cycles,
+            ops=op_count,
+            breakdown={
+                "init_ms": params.runtime_init_cycles / self.frequency_hz * 1e3,
+                "hw_ms": hw_cycles / self.frequency_hz * 1e3,
+                "submit_ms": submit / self.frequency_hz * 1e3,
+                "irq_ms": irq / self.frequency_hz * 1e3,
+                "copy_ms": copy_cycles / self.frequency_hz * 1e3,
+            },
+        )

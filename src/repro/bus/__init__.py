@@ -1,0 +1,45 @@
+"""Transaction-level models of the SoC bus fabric.
+
+The paper's SoC (Fig. 2) mixes three on-chip protocols:
+
+- **AHB-Lite** — the Codasip µRISC-V master interface,
+- **APB** — the register path into NVDLA's configuration space bus
+  (CSB), through an AHB→APB bridge and the APB→CSB adapter shipped
+  with NVDLA,
+- **AXI** — the data path: NVDLA's 64-bit DBB interface, a 64→32-bit
+  data-width converter, and the AHB→AXI bridge in front of the shared
+  data memory.
+
+Each protocol model charges a per-transfer cycle cost that reflects its
+handshake (AHB pipelining, APB setup+access phases, AXI burst beats) so
+that end-to-end latencies — register programming over CSB, weight
+streaming over DBB — reproduce the first-order timing behaviour of the
+RTL system.
+"""
+
+from repro.bus.types import AccessType, BusPort, Reply, Transfer
+from repro.bus.ahb import AhbLiteBus
+from repro.bus.apb import ApbBus
+from repro.bus.axi import AxiBus, AxiBurst
+from repro.bus.bridges import AhbToApbBridge, AhbToAxiBridge, ApbToCsbAdapter
+from repro.bus.width_converter import AxiWidthConverter
+from repro.bus.interconnect import AddressDecoder, AxiInterconnect, AxiSmartConnect, Region
+
+__all__ = [
+    "AccessType",
+    "AddressDecoder",
+    "AhbLiteBus",
+    "AhbToApbBridge",
+    "AhbToAxiBridge",
+    "ApbBus",
+    "ApbToCsbAdapter",
+    "AxiBurst",
+    "AxiBus",
+    "AxiInterconnect",
+    "AxiSmartConnect",
+    "AxiWidthConverter",
+    "BusPort",
+    "Region",
+    "Reply",
+    "Transfer",
+]

@@ -1,0 +1,65 @@
+"""APB protocol model.
+
+APB is the low-cost register-access bus between the AHB→APB bridge and
+the NVDLA CSB adapter.  Every APB transfer takes at least two cycles —
+a SETUP phase and an ACCESS phase — plus any wait states the completer
+inserts via PREADY.  APB does not support bursts; burst transfers are
+sequenced as independent setup/access pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bus.types import AccessType, BusPort, Reply, Transfer
+
+
+@dataclass
+class ApbStats:
+    transfers: int = 0
+    cycles: int = 0
+
+
+class ApbBus(BusPort):
+    """An APB segment in front of a register-style completer."""
+
+    SETUP_CYCLES = 1
+    ACCESS_CYCLES = 1
+
+    def __init__(self, downstream: BusPort) -> None:
+        self._downstream = downstream
+        self.stats = ApbStats()
+
+    @property
+    def downstream(self) -> BusPort:
+        return self._downstream
+
+    def transfer(self, xfer: Transfer) -> Reply:
+        per_beat = self.SETUP_CYCLES + self.ACCESS_CYCLES
+        total_cycles = 0
+        data = bytearray()
+        for beat in range(xfer.burst_len):
+            address = xfer.address + beat * xfer.size
+            if xfer.access is AccessType.WRITE:
+                assert xfer.data is not None
+                payload = xfer.data[beat * xfer.size : (beat + 1) * xfer.size]
+                beat_xfer = Transfer(
+                    address=address,
+                    size=xfer.size,
+                    access=AccessType.WRITE,
+                    data=payload,
+                    master=xfer.master,
+                )
+            else:
+                beat_xfer = Transfer(
+                    address=address, size=xfer.size, access=AccessType.READ, master=xfer.master
+                )
+            reply = self._downstream.transfer(beat_xfer)
+            # The completer's own cost beyond one ideal cycle shows up
+            # as PREADY wait states inside the ACCESS phase.
+            wait_states = max(0, reply.cycles - 1)
+            total_cycles += per_beat + wait_states
+            data.extend(reply.data)
+        self.stats.transfers += xfer.burst_len
+        self.stats.cycles += total_cycles
+        return Reply(data=bytes(data), cycles=total_cycles)

@@ -1,0 +1,142 @@
+"""AXI protocol model.
+
+AXI carries the high-bandwidth data traffic: NVDLA's 64-bit data
+backbone (DBB) and the µRISC-V's bridged path to DRAM.  The model
+charges per transaction:
+
+``cycles = issue_latency + ceil(beats_on_this_bus) * beat_cycles + downstream_extra``
+
+where ``issue_latency`` covers the AR/AW handshake and ``beats`` are
+counted at this bus's data width (a 64-bit burst crossing a 32-bit
+converter doubles its beat count there, see
+:mod:`repro.bus.width_converter`).
+
+:class:`AxiBurst` is a small helper describing how a block transfer is
+chopped into protocol-legal bursts (max 256 beats, 4 KiB boundary
+rule) — the MCIF and DMA models use it for cycle accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bus.types import BusPort, Reply, Transfer
+
+AXI_MAX_BURST_BEATS = 256
+AXI_BOUNDARY = 4096
+
+
+@dataclass(frozen=True)
+class AxiBurst:
+    """One protocol-legal AXI burst: start address and beat count."""
+
+    address: int
+    beats: int
+    size: int  # bytes per beat
+
+    @property
+    def nbytes(self) -> int:
+        return self.beats * self.size
+
+
+def split_into_bursts(address: int, nbytes: int, beat_size: int) -> list[AxiBurst]:
+    """Chop a block transfer into legal AXI bursts.
+
+    Bursts never cross a 4 KiB boundary and never exceed 256 beats,
+    per the AXI specification.  Unaligned head/tail bytes are carried
+    in single-beat narrow bursts.
+    """
+    bursts: list[AxiBurst] = []
+    addr = address
+    remaining = nbytes
+    while remaining > 0:
+        if addr % beat_size != 0 or remaining < beat_size:
+            # Head/tail bytes go out as single-byte beats up to the next
+            # beat boundary (or to the end of the block).
+            to_boundary = beat_size - addr % beat_size if addr % beat_size else remaining
+            step = min(remaining, to_boundary, beat_size)
+            bursts.append(AxiBurst(address=addr, beats=step, size=1))
+            addr += step
+            remaining -= step
+            continue
+        to_boundary = AXI_BOUNDARY - (addr % AXI_BOUNDARY)
+        max_bytes = min(remaining, to_boundary, AXI_MAX_BURST_BEATS * beat_size)
+        beats = max(1, max_bytes // beat_size)
+        bursts.append(AxiBurst(address=addr, beats=beats, size=beat_size))
+        addr += beats * beat_size
+        remaining -= beats * beat_size
+    return bursts
+
+
+@dataclass
+class AxiStats:
+    transactions: int = 0
+    beats: int = 0
+    bytes: int = 0
+    cycles: int = 0
+    by_master: dict[str, int] = field(default_factory=dict)
+
+
+class AxiBus(BusPort):
+    """An AXI segment with a given data width and issue latency.
+
+    Parameters
+    ----------
+    downstream:
+        Next hop (converter, interconnect, arbiter or memory).
+    data_width_bits:
+        Physical width of this segment (32/64/128/256/512).
+    issue_latency:
+        Cycles for the address-channel handshake per transaction.
+    beat_cycles:
+        Cycles per data beat at this width (1 for a well-formed fabric).
+    """
+
+    def __init__(
+        self,
+        downstream: BusPort,
+        data_width_bits: int = 64,
+        issue_latency: int = 2,
+        beat_cycles: int = 1,
+    ) -> None:
+        if data_width_bits % 8 != 0 or data_width_bits < 8:
+            raise ValueError("invalid AXI data width")
+        self._downstream = downstream
+        self.data_width_bits = data_width_bits
+        self._width_bytes = data_width_bits // 8
+        self._issue_latency = issue_latency
+        self._beat_cycles = beat_cycles
+        self.stats = AxiStats()
+
+    @property
+    def downstream(self) -> BusPort:
+        return self._downstream
+
+    @property
+    def width_bytes(self) -> int:
+        return self._width_bytes
+
+    def transfer(self, xfer: Transfer) -> Reply:
+        reply = self._downstream.transfer(xfer)
+        beats_here = max(1, -(-xfer.total_bytes // self._width_bytes))
+        # The downstream reply already includes its own beat costs; we
+        # only add what this segment contributes beyond the downstream
+        # time when it is the narrower (and hence pacing) element.
+        local_cycles = self._issue_latency + beats_here * self._beat_cycles
+        total = max(local_cycles, reply.cycles + self._issue_latency)
+        self.stats.transactions += 1
+        self.stats.beats += beats_here
+        self.stats.bytes += xfer.total_bytes
+        self.stats.cycles += total
+        self.stats.by_master[xfer.master] = self.stats.by_master.get(xfer.master, 0) + 1
+        return Reply(data=reply.data, cycles=total, ok=reply.ok)
+
+    def stream_cycles(self, address: int, nbytes: int) -> int:
+        """Cycle cost of streaming ``nbytes`` through this segment.
+
+        Used by DMA timing models for bulk traffic: the cost of each
+        legal burst is ``issue_latency + beats``, which captures the
+        burst-length-dependent efficiency of the interface.
+        """
+        bursts = split_into_bursts(address, nbytes, self._width_bytes)
+        return sum(self._issue_latency + b.beats * self._beat_cycles for b in bursts)

@@ -1,0 +1,213 @@
+"""Command-line interface.
+
+Exposes the flows a downstream user runs most::
+
+    python -m repro info
+    python -m repro run --model lenet5 --config nv_small
+    python -m repro flow --model lenet5 --out artifacts/
+    python -m repro table1 | table2 | table3
+    python -m repro synth --config nv_full
+    python -m repro sanity --trace conv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.nvdla.config import CONFIGS, Precision, get_config
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.nn.zoo import ZOO
+
+    print("NVDLA configurations:")
+    for config in CONFIGS.values():
+        print(f"  {config.describe()}")
+    print("\nmodel zoo:")
+    for name, builder in ZOO.items():
+        net = builder()
+        print(
+            f"  {name:<10} {net.layer_count():>4} layers "
+            f"{net.parameter_count():>12,} params "
+            f"{net.model_size_bytes() / 1e6:>7.1f} MB fp32  in={net.input_shape}"
+        )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.baremetal import generate_baremetal
+    from repro.core import Soc
+    from repro.nn.zoo import ZOO
+
+    config = get_config(args.config)
+    precision = Precision(args.precision)
+    net = ZOO[args.model]()
+    print(f"running {args.model} on {config.name} ({precision.value}, {args.fidelity})...")
+    bundle = generate_baremetal(net, config, precision=precision, fidelity=args.fidelity)
+    soc = Soc(
+        config,
+        frequency_hz=args.frequency_mhz * 1e6,
+        fidelity=args.fidelity,
+        memory_bus_width_bits=args.memory_width,
+    )
+    soc.load_bundle(bundle)
+    result = soc.run_inference(bundle)
+    status = "DONE" if result.ok else f"FAIL (command {result.fail_index})"
+    print(f"status:  {status}")
+    print(f"latency: {result.cycles:,} cycles = {result.milliseconds:.3f} ms @ {args.frequency_mhz:g} MHz")
+    print(f"hw ops:  {len(result.op_records)}  program: {len(bundle.program.words)} words")
+    return 0 if result.ok else 1
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    from repro.baremetal import generate_baremetal
+    from repro.nn.caffe_proto import to_prototxt
+    from repro.nn.zoo import ZOO
+
+    config = get_config(args.config)
+    net = ZOO[args.model]()
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    bundle = generate_baremetal(net, config, precision=Precision(args.precision))
+    (out / f"{args.model}.prototxt").write_text(to_prototxt(net))
+    (out / f"{args.model}.cfg").write_text(bundle.config_file_text)
+    (out / f"{args.model}.S").write_text(bundle.assembly)
+    (out / f"{args.model}.mem").write_text(bundle.images.program_mem)
+    (out / "vp_trace.log").write_text(bundle.trace.render())
+    for image in bundle.images.preload:
+        (out / image.name).write_bytes(image.data)
+    print(bundle.describe())
+    print(f"artefacts written to {out.resolve()}")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace, which: int) -> int:
+    from repro.harness import format_table, run_table1, run_table2, run_table3
+
+    if which == 1:
+        print(run_table1().render())
+        return 0
+    if which == 2:
+        rows = run_table2()
+        print(
+            format_table(
+                ["model", "ms@100MHz", "paper ms", "ratio", "ESP ms"],
+                [
+                    [r.model, f"{r.ms_at_100mhz:.1f}", f"{r.paper_ms:g}", f"{r.ratio:.2f}",
+                     f"{r.baseline_ms:.0f}" if r.baseline_ms else "-"]
+                    for r in rows
+                ],
+                title="Table II — nv_small FPGA results",
+            )
+        )
+        return 0
+    rows = run_table3()
+    print(
+        format_table(
+            ["model", "cycles", "paper cycles", "ratio"],
+            [[r.model, f"{r.cycles:,}", f"{r.paper_cycles:,}", f"{r.ratio:.2f}"] for r in rows],
+            title="Table III — nv_full simulation results (FP16)",
+        )
+    )
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from repro.fpga import DEVICES, synthesize
+
+    config = get_config(args.config)
+    device = DEVICES[args.device]
+    result = synthesize(config, device)
+    print(result.render())
+    return 0 if result.fits else 2
+
+
+def _cmd_sanity(args: argparse.Namespace) -> int:
+    from repro.baremetal.sanity import ALL_TRACES, run_on_soc
+    from repro.core import Soc
+
+    config = get_config(args.config)
+    names = [args.trace] if args.trace else list(ALL_TRACES)
+    failures = 0
+    for name in names:
+        ok = run_on_soc(ALL_TRACES[name](config), Soc(config))
+        print(f"{name:<12} {'PASS' if ok else 'FAIL'}")
+        failures += 0 if ok else 1
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bare-metal RISC-V + NVDLA SoC reproduction flows",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list configurations and zoo models")
+
+    run = sub.add_parser("run", help="full bare-metal inference of a zoo model")
+    run.add_argument("--model", default="lenet5")
+    run.add_argument("--config", default="nv_small", choices=sorted(CONFIGS))
+    run.add_argument("--precision", default="int8", choices=[p.value for p in Precision])
+    run.add_argument("--fidelity", default="functional", choices=["functional", "timing"])
+    run.add_argument("--frequency-mhz", type=float, default=100.0)
+    run.add_argument("--memory-width", type=int, default=32)
+
+    flow = sub.add_parser("flow", help="dump every offline-flow artefact")
+    flow.add_argument("--model", default="lenet5")
+    flow.add_argument("--config", default="nv_small", choices=sorted(CONFIGS))
+    flow.add_argument("--precision", default="int8", choices=[p.value for p in Precision])
+    flow.add_argument("--out", default="flow_artifacts")
+
+    for index in (1, 2, 3):
+        sub.add_parser(f"table{index}", help=f"regenerate paper Table {'I' * index}")
+
+    synth = sub.add_parser("synth", help="resource feasibility on a device")
+    synth.add_argument("--config", default="nv_small", choices=sorted(CONFIGS))
+    synth.add_argument("--device", default="ZCU102")
+
+    sanity = sub.add_parser("sanity", help="run the NVDLA sanity test traces")
+    sanity.add_argument("--trace", default=None)
+    sanity.add_argument("--config", default="nv_small", choices=sorted(CONFIGS))
+
+    report = sub.add_parser("report", help="regenerate all experiments as markdown")
+    report.add_argument("--out", default="report.md")
+    report.add_argument("--full", action="store_true", help="all six Table III models")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "flow":
+        return _cmd_flow(args)
+    if args.command in ("table1", "table2", "table3"):
+        return _cmd_table(args, int(args.command[-1]))
+    if args.command == "synth":
+        return _cmd_synth(args)
+    if args.command == "sanity":
+        return _cmd_sanity(args)
+    if args.command == "report":
+        from pathlib import Path
+
+        from repro.harness.report_md import generate_report
+
+        models = (
+            ("lenet5", "resnet18", "resnet50", "mobilenet", "googlenet", "alexnet")
+            if args.full
+            else ("lenet5", "resnet18", "resnet50")
+        )
+        text = generate_report(table3_models=models)
+        Path(args.out).write_text(text)
+        print(f"report written to {args.out}")
+        return 0
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

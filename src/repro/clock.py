@@ -1,0 +1,115 @@
+"""Simulation time base shared by every hardware model.
+
+The whole SoC is simulated against a single :class:`Clock` measured in
+cycles of the system clock domain.  Components that complete work in the
+background (NVDLA layer operations, DMA bursts) register completion
+callbacks on the clock's event queue; bus masters advance the clock as
+they consume wait states.
+
+The clock also supports *fast-forwarding*: when the CPU is spinning in a
+polling loop waiting for an NVDLA interrupt, the executor can jump
+straight to the next scheduled event instead of simulating millions of
+identical loop iterations.  The skipped cycles are still accounted for,
+so reported latencies are unchanged.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class _Event:
+    cycle: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+
+
+class Clock:
+    """Cycle counter with an ordered event queue.
+
+    Parameters
+    ----------
+    frequency_hz:
+        Frequency of the clock domain; used only to convert cycle counts
+        into wall-clock seconds for reports.
+    """
+
+    def __init__(self, frequency_hz: float = 100e6) -> None:
+        if frequency_hz <= 0:
+            raise ValueError("clock frequency must be positive")
+        self.frequency_hz = float(frequency_hz)
+        self._now = 0
+        self._seq = 0
+        self._events: list[_Event] = []
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    def seconds(self, cycles: int | None = None) -> float:
+        """Convert ``cycles`` (default: current time) to seconds."""
+        if cycles is None:
+            cycles = self._now
+        return cycles / self.frequency_hz
+
+    def schedule_at(self, cycle: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` when the clock reaches ``cycle``."""
+        if cycle < self._now:
+            raise ValueError(f"cannot schedule in the past ({cycle} < {self._now})")
+        heapq.heappush(self._events, _Event(cycle, self._seq, callback))
+        self._seq += 1
+
+    def schedule_after(self, delay: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.schedule_at(self._now + delay, callback)
+
+    def next_event_cycle(self) -> int | None:
+        """Cycle of the earliest pending event, or ``None`` if idle."""
+        return self._events[0].cycle if self._events else None
+
+    def advance(self, cycles: int) -> None:
+        """Move time forward by ``cycles``, firing any due events."""
+        if cycles < 0:
+            raise ValueError("cannot advance by a negative amount")
+        self.advance_to(self._now + cycles)
+
+    def advance_to(self, cycle: int) -> None:
+        """Move time forward to ``cycle``, firing events in order.
+
+        Events are fired at their exact timestamps (the clock is set to
+        the event's cycle while its callback runs), so a callback that
+        schedules follow-up work keeps causal ordering.
+        """
+        if cycle < self._now:
+            raise ValueError(f"cannot rewind the clock ({cycle} < {self._now})")
+        while self._events and self._events[0].cycle <= cycle:
+            event = heapq.heappop(self._events)
+            self._now = event.cycle
+            event.callback()
+        self._now = cycle
+
+    def fast_forward_to_next_event(self) -> bool:
+        """Jump to the earliest pending event and fire it.
+
+        Returns ``True`` if an event was fired, ``False`` if the queue
+        was empty (in which case time does not move).
+        """
+        if not self._events:
+            return False
+        self.advance_to(self._events[0].cycle)
+        return True
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind to cycle zero."""
+        self._now = 0
+        self._seq = 0
+        self._events.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Clock(now={self._now}, pending={len(self._events)}, f={self.frequency_hz / 1e6:g} MHz)"

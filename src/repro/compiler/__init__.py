@@ -1,0 +1,42 @@
+"""The NVDLA compiler substrate.
+
+Turns a :class:`~repro.nn.graph.Network` (+ optional INT8 calibration
+table) into a :class:`~repro.compiler.loadable.Loadable`: a schedule of
+address-resolved hardware-layer ops plus a packed weight blob — the
+artefact the virtual platform replays to produce the CSB/DBB traces
+that the bare-metal flow converts into RISC-V assembly.
+
+Passes:
+
+1. :mod:`repro.compiler.fusion` — prune to the output cone, fold
+   BatchNorm/Scale into convolutions, absorb ReLU into the producing
+   op, plan zero-copy concats.
+2. :mod:`repro.compiler.lowering` — map layers onto hardware ops
+   (conv/FC → conv pipeline + SDP, pool → PDP, LRN → CDP, eltwise →
+   SDP, grouped/depthwise conv → per-atom-block conv ops, softmax →
+   host CPU op); resolve quantisation scales.
+3. :mod:`repro.compiler.tiling` — CBUF feasibility: weight-partition
+   kernel splits and data-bank pressure checks.
+4. :mod:`repro.compiler.weight_packer` — pack weights/bias blobs in
+   CMAC stripe order into one contiguous image.
+5. :mod:`repro.compiler.allocator` — assign DRAM addresses with
+   liveness-based buffer reuse and concat aliasing.
+"""
+
+from repro.compiler.compile import CompileOptions, compile_network
+from repro.compiler.loadable import Loadable
+from repro.compiler.ops import ConvOp, CpuSoftmaxOp, EltwiseOpKind, HwOp, LrnOp, PoolOp, SdpOp, TensorRef
+
+__all__ = [
+    "CompileOptions",
+    "ConvOp",
+    "CpuSoftmaxOp",
+    "EltwiseOpKind",
+    "HwOp",
+    "Loadable",
+    "LrnOp",
+    "PoolOp",
+    "SdpOp",
+    "TensorRef",
+    "compile_network",
+]

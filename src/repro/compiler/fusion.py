@@ -1,0 +1,204 @@
+"""Graph analysis passes: pruning, fusion planning, concat aliasing.
+
+Works on the :class:`~repro.nn.graph.Network` IR before lowering:
+
+- **pruning** — keep only layers reachable backwards from the
+  declared output (drops GoogLeNet's auxiliary heads),
+- **fusion planning** — each Convolution/InnerProduct absorbs a
+  directly-following BatchNorm → Scale → ReLU chain (any prefix);
+  each Eltwise absorbs a following ReLU; Dropout is elided,
+- **concat aliasing** — channel-wise Concat becomes zero-copy: each
+  input blob is a channel-offset view into the concat output blob.
+  Chained concats collapse into the outermost blob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CompilerError
+from repro.nn.graph import Network
+from repro.nn.layers import (
+    BatchNorm,
+    Concat,
+    Convolution,
+    Dropout,
+    Eltwise,
+    InnerProduct,
+    Layer,
+    ReLU,
+    Scale,
+)
+
+
+def prune_to_output(net: Network) -> list[Layer]:
+    """Layers reachable backwards from the output blob, in order."""
+    needed_blobs = {net.output_blob}
+    keep: list[Layer] = []
+    for layer in reversed(net.layers):
+        if any(top in needed_blobs for top in layer.tops):
+            keep.append(layer)
+            needed_blobs.update(layer.bottoms)
+    keep.reverse()
+    return keep
+
+
+@dataclass
+class FusionPlan:
+    """Which layers each producer absorbs, and which disappear."""
+
+    # producer layer name -> ordered absorbed layers
+    absorbed: dict[str, list[Layer]] = field(default_factory=dict)
+    # layer names that are absorbed into some producer (skip at lowering)
+    consumed: set[str] = field(default_factory=set)
+    # blob -> blob aliases for elided layers (dropout): top -> bottom
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    def resolve_blob(self, blob: str) -> str:
+        while blob in self.aliases:
+            blob = self.aliases[blob]
+        return blob
+
+
+_FOLDABLE_AFTER_CONV = (BatchNorm, Scale, ReLU)
+
+
+def plan_fusion(net: Network, layers: list[Layer]) -> FusionPlan:
+    """Greedy single-consumer chain fusion.
+
+    A layer is absorbed only when it is the *sole* consumer of its
+    bottom blob, so branch points (e.g. a ReLU output feeding two
+    inception branches) stay materialised.
+    """
+    plan = FusionPlan()
+    by_index = {layer.name: i for i, layer in enumerate(layers)}
+    consumers: dict[str, list[Layer]] = {}
+    for layer in layers:
+        for bottom in layer.bottoms:
+            consumers.setdefault(bottom, []).append(layer)
+
+    for layer in layers:
+        if isinstance(layer, Dropout):
+            plan.consumed.add(layer.name)
+            plan.aliases[layer.tops[0]] = layer.bottoms[0]
+            continue
+        if isinstance(layer, (Convolution, InnerProduct)):
+            allowed: tuple[type, ...] = _FOLDABLE_AFTER_CONV
+        elif isinstance(layer, Eltwise):
+            allowed = (ReLU,)
+        else:
+            continue
+        absorbed: list[Layer] = []
+        blob = layer.tops[0]
+        seen_relu = False
+        while True:
+            users = [u for u in consumers.get(blob, []) if u.name not in plan.consumed]
+            if len(users) != 1:
+                break
+            follower = users[0]
+            if not isinstance(follower, allowed):
+                break
+            if isinstance(follower, ReLU):
+                if seen_relu:
+                    break
+                seen_relu = True
+            if isinstance(follower, (BatchNorm, Scale)) and seen_relu:
+                break  # BN/Scale after ReLU cannot fold into the conv
+            absorbed.append(follower)
+            plan.consumed.add(follower.name)
+            blob = follower.tops[0]
+        if absorbed:
+            plan.absorbed[layer.name] = absorbed
+    return plan
+
+
+def fused_output_blob(layer: Layer, plan: FusionPlan) -> str:
+    """Blob name the fused group ultimately produces."""
+    absorbed = plan.absorbed.get(layer.name)
+    if absorbed:
+        return absorbed[-1].tops[0]
+    return layer.tops[0]
+
+
+def fold_batchnorm_scale(
+    net: Network,
+    conv_weight: np.ndarray,
+    conv_bias: np.ndarray | None,
+    absorbed: list[Layer],
+) -> tuple[np.ndarray, np.ndarray | None, bool]:
+    """Fold absorbed BatchNorm/Scale parameters into weight/bias.
+
+    Returns ``(weight, bias, relu)`` in float32.  Convolution weights
+    are per-output-channel scaled: ``w' = w * g``, ``b' = (b - mean) *
+    g_bn * g_scale + beta`` with the usual BN folding algebra.
+    """
+    weight = conv_weight.astype(np.float32)
+    k = weight.shape[0]
+    bias = (conv_bias.astype(np.float32) if conv_bias is not None else np.zeros(k, np.float32))
+    relu = False
+    for layer in absorbed:
+        params = net.params.get(layer.name, {})
+        if isinstance(layer, BatchNorm):
+            mean = params["mean"].astype(np.float32)
+            var = params["variance"].astype(np.float32)
+            gain = 1.0 / np.sqrt(var + layer.eps)
+            weight = weight * gain.reshape(-1, *([1] * (weight.ndim - 1)))
+            bias = (bias - mean) * gain
+        elif isinstance(layer, Scale):
+            gain = params["scale"].astype(np.float32)
+            weight = weight * gain.reshape(-1, *([1] * (weight.ndim - 1)))
+            bias = bias * gain
+            if layer.bias:
+                bias = bias + params["bias"].astype(np.float32)
+        elif isinstance(layer, ReLU):
+            relu = True
+        else:  # pragma: no cover - plan_fusion restricts the types
+            raise CompilerError(f"cannot fold layer {layer.type_name}")
+    return weight, bias, relu
+
+
+@dataclass
+class ConcatAlias:
+    """One concat input's placement inside the concat output blob."""
+
+    parent_blob: str
+    channel_offset: int
+    parent_channels: int
+
+
+def plan_concats(net: Network, layers: list[Layer], plan: FusionPlan) -> dict[str, ConcatAlias]:
+    """Map each concat-input blob to its slot in the concat blob.
+
+    Chained concats collapse: offsets compose into the outermost
+    parent.  Returns ``{}`` when the network has no Concat layers.
+    """
+    aliases: dict[str, ConcatAlias] = {}
+    for layer in layers:
+        if not isinstance(layer, Concat):
+            continue
+        out_blob = layer.tops[0]
+        total = net.blob_shapes[out_blob][0]
+        offset = 0
+        for bottom in layer.bottoms:
+            bottom = plan.resolve_blob(bottom)
+            channels = net.blob_shapes[bottom][0]
+            aliases[bottom] = ConcatAlias(
+                parent_blob=out_blob, channel_offset=offset, parent_channels=total
+            )
+            offset += channels
+    # Collapse chains: an alias whose parent is itself aliased.
+    changed = True
+    while changed:
+        changed = False
+        for blob, alias in list(aliases.items()):
+            parent = aliases.get(alias.parent_blob)
+            if parent is not None:
+                aliases[blob] = ConcatAlias(
+                    parent_blob=parent.parent_blob,
+                    channel_offset=alias.channel_offset + parent.channel_offset,
+                    parent_channels=parent.parent_channels,
+                )
+                changed = True
+    return aliases

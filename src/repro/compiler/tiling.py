@@ -1,0 +1,97 @@
+"""CBUF feasibility analysis.
+
+For every convolution op the compiler records how the layer maps onto
+the convolution buffer:
+
+- **kernel splits** — packed weights beyond the weight-bank partition
+  force the kernel to be split along K; each split re-streams the
+  input feature map (extra DBB traffic the timing model charges),
+- **data-band pressure** — the sliding input band (kernel_r rows ×
+  full width × all channels) versus the data-bank partition; overflow
+  means CDMA re-fetches input rows.
+
+Neither condition is fatal (hardware degrades instead of failing), so
+this pass produces a report the benchmarks and DESIGN ablations use,
+and it feeds the same numbers the timing model derives independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.ops import ConvOp, HwOp, Schedule
+from repro.nvdla.cbuf import Cbuf
+from repro.nvdla.config import HardwareConfig
+from repro.nvdla.layout import ceil_div, weight_size_bytes
+
+
+@dataclass(frozen=True)
+class ConvTiling:
+    """How one convolution maps onto the CBUF."""
+
+    op_name: str
+    weight_bytes: int
+    weight_banks: int
+    data_banks: int
+    kernel_splits: int
+    band_bytes: int
+    band_refetch: int
+
+    @property
+    def clean(self) -> bool:
+        """True when the layer runs in one pass with no re-fetching."""
+        return self.kernel_splits == 1 and self.band_refetch == 1
+
+
+def analyze_conv(op: ConvOp, config: HardwareConfig) -> ConvTiling:
+    """Compute the CBUF mapping of one convolution op."""
+    cbuf = Cbuf(config)
+    atomic_c, atomic_k = config.atoms(op.precision)
+    w_bytes = weight_size_bytes(op.kernel_shape, atomic_c, atomic_k, op.precision)
+    alloc = cbuf.default_split(w_bytes)
+    splits = cbuf.kernel_splits(w_bytes, alloc.weight_banks)
+
+    _, c, r, _ = op.kernel_shape
+    _, _, in_w = op.input.shape
+    atom = config.atom_channels(op.precision)
+    band_bytes = ceil_div(c, atom) * atom * r * in_w * op.precision.itemsize
+    band_refetch = max(1, ceil_div(band_bytes, alloc.data_bytes))
+    band_refetch = min(band_refetch, r)  # worst case: re-read per kernel row
+
+    return ConvTiling(
+        op_name=op.name,
+        weight_bytes=w_bytes,
+        weight_banks=alloc.weight_banks,
+        data_banks=alloc.data_banks,
+        kernel_splits=splits,
+        band_bytes=band_bytes,
+        band_refetch=band_refetch,
+    )
+
+
+def analyze_schedule(schedule: Schedule, config: HardwareConfig) -> dict[str, ConvTiling]:
+    """Tiling report for every convolution in a schedule."""
+    report: dict[str, ConvTiling] = {}
+    for op in schedule.ops:
+        if isinstance(op, ConvOp):
+            report[op.name] = analyze_conv(op, config)
+    return report
+
+
+def summarize(report: dict[str, ConvTiling]) -> dict:
+    """Aggregate statistics for logs and benchmarks."""
+    if not report:
+        return {"convs": 0, "split_layers": 0, "max_splits": 0, "refetch_layers": 0}
+    return {
+        "convs": len(report),
+        "split_layers": sum(1 for t in report.values() if t.kernel_splits > 1),
+        "max_splits": max(t.kernel_splits for t in report.values()),
+        "refetch_layers": sum(1 for t in report.values() if t.band_refetch > 1),
+    }
+
+
+def hw_op_count(ops: list[HwOp]) -> int:
+    """Accelerator-side op count (excludes host CPU ops)."""
+    from repro.compiler.ops import CpuSoftmaxOp
+
+    return sum(1 for op in ops if not isinstance(op, CpuSoftmaxOp))

@@ -1,0 +1,59 @@
+"""The system-bus decoder map (paper §IV-A2).
+
+Two slave windows, exactly as published:
+
+- **NVDLA**: ``0x0 -- 0xFFFFF`` — "covering all configuration
+  register addresses of the NVDLA" (the CSB space proper ends at
+  0x10FFF; the window is generous),
+- **DRAM**: ``0x100000 -- 0x200FFFFF`` — 512 MB of data memory.
+
+This mapping lets the RISC-V program NVDLA with ordinary load/store
+instructions — no custom instructions — which is what makes the
+generated bare-metal assembly portable to any RV32 core.
+
+Program memory hangs off the core's instruction-side AHB port (the
+Codasip testbench wires it separately), so it does not occupy a data
+window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+NVDLA_BASE = 0x0
+NVDLA_LIMIT = 0xFFFFF
+DRAM_BASE = 0x100000
+DRAM_LIMIT = 0x200FFFFF
+DRAM_SIZE = DRAM_LIMIT - DRAM_BASE + 1  # exactly 512 MiB
+
+PROGRAM_MEMORY_BASE = 0x0  # on the instruction port's own address space
+PROGRAM_MEMORY_SIZE = 1 << 20  # 1 MiB of BRAM (232 tiles in Table I)
+
+STATUS_PAGE_BASE = DRAM_BASE  # bare-metal status words (first DRAM page)
+STATUS_PAGE_SIZE = 0x1000
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """The SoC decoder windows."""
+
+    nvdla_base: int = NVDLA_BASE
+    nvdla_limit: int = NVDLA_LIMIT
+    dram_base: int = DRAM_BASE
+    dram_limit: int = DRAM_LIMIT
+
+    @property
+    def dram_size(self) -> int:
+        return self.dram_limit - self.dram_base + 1
+
+    def describe(self) -> str:
+        return (
+            f"NVDLA 0x{self.nvdla_base:x}..0x{self.nvdla_limit:x}, "
+            f"DRAM 0x{self.dram_base:x}..0x{self.dram_limit:x} "
+            f"({self.dram_size // (1 << 20)} MiB)"
+        )
+
+
+DEFAULT_MAP = AddressMap()
+
+assert DEFAULT_MAP.dram_size == 512 * 1024 * 1024, "paper's map is exactly 512 MiB"

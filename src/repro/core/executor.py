@@ -1,0 +1,86 @@
+"""The bare-metal run loop with poll fast-forwarding.
+
+Executes the generated program on the ISS cycle-accountably.  When the
+CPU settles into a register poll loop (detected by the CPU's poll
+tracker: identical load, address and value repeating), simulated time
+jumps to the next scheduled NVDLA event instead of spinning through
+millions of identical iterations.  Skipped cycles still count — the
+reported latency is what the RTL system would measure — but wall-clock
+simulation time collapses from hours to seconds for the big models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clock import Clock
+from repro.errors import CpuFault
+from repro.riscv.cpu import Cpu
+
+
+@dataclass
+class RunStats:
+    """Result of one bare-metal execution."""
+
+    cycles: int = 0
+    instructions: int = 0
+    seconds: float = 0.0
+    fast_forwards: int = 0
+    skipped_cycles: int = 0
+    halted: bool = False
+    by_class: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def poll_fraction(self) -> float:
+        """Share of total cycles spent waiting on NVDLA."""
+        return self.skipped_cycles / self.cycles if self.cycles else 0.0
+
+
+class BaremetalExecutor:
+    """Couples a CPU and the shared clock for a full program run."""
+
+    POLL_STREAK_THRESHOLD = 8
+    #: Stalled poll iterations tolerated with no pending NVDLA event
+    #: before declaring a deadlock.  Generous enough that a generated
+    #: program with a modest poll budget reaches its own FAIL path.
+    POLL_DEADLOCK_GRACE = 20_000
+
+    def __init__(self, cpu: Cpu, clock: Clock) -> None:
+        self.cpu = cpu
+        self.clock = clock
+
+    def run(self, max_instructions: int = 200_000_000) -> RunStats:
+        cpu = self.cpu
+        clock = self.clock
+        stats = RunStats()
+        stalled_polls = 0
+        while not cpu.halted:
+            if cpu.instret >= max_instructions:
+                raise CpuFault(
+                    f"program exceeded {max_instructions} instructions", pc=cpu.pc
+                )
+            cost = cpu.step()
+            clock.advance(cost)
+            if cpu.poll.streak >= self.POLL_STREAK_THRESHOLD:
+                before = clock.now
+                if clock.fast_forward_to_next_event():
+                    skipped = clock.now - before
+                    cpu.cycles += skipped  # keep mcycle consistent
+                    stats.fast_forwards += 1
+                    stats.skipped_cycles += skipped
+                    cpu.poll.reset()
+                    stalled_polls = 0
+                else:
+                    stalled_polls += 1
+                    if stalled_polls > self.POLL_DEADLOCK_GRACE:
+                        raise CpuFault(
+                            "poll loop will never complete: no pending NVDLA events "
+                            f"while polling 0x{cpu.poll.address:08x}",
+                            pc=cpu.pc,
+                        )
+        stats.cycles = clock.now
+        stats.instructions = cpu.instret
+        stats.seconds = clock.seconds()
+        stats.halted = True
+        stats.by_class = dict(cpu.pipeline.stats.by_class)
+        return stats

@@ -1,0 +1,116 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so
+callers can catch one base type at the flow level while still being able
+to discriminate bus faults from compiler errors in targeted handlers.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class BusError(ReproError):
+    """A bus transaction failed (decode error, slave error response)."""
+
+    def __init__(self, message: str, address: int | None = None) -> None:
+        super().__init__(message)
+        self.address = address
+
+
+class AddressDecodeError(BusError):
+    """No slave is mapped at the requested address."""
+
+
+class AlignmentError(BusError):
+    """A transfer was not aligned to its own size."""
+
+
+class MemoryError_(ReproError):
+    """A backing-store access was invalid (out of range, bad size)."""
+
+
+class IsaError(ReproError):
+    """Assembler/disassembler/ISS error (bad mnemonic, bad encoding)."""
+
+
+class AssemblerError(IsaError):
+    """Assembly source could not be translated into machine code."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class CpuFault(IsaError):
+    """The ISS hit an unrecoverable condition (illegal instruction...)."""
+
+    def __init__(self, message: str, pc: int | None = None) -> None:
+        if pc is not None:
+            message = f"pc=0x{pc:08x}: {message}"
+        super().__init__(message)
+        self.pc = pc
+
+
+class NvdlaError(ReproError):
+    """NVDLA model error (bad register, invalid op configuration)."""
+
+
+class RegisterError(NvdlaError):
+    """A CSB access hit an unmapped or read-only register."""
+
+    def __init__(self, message: str, offset: int | None = None) -> None:
+        if offset is not None:
+            message = f"offset 0x{offset:05x}: {message}"
+        super().__init__(message)
+        self.offset = offset
+
+
+class ConfigurationError(NvdlaError):
+    """A hardware-layer descriptor is inconsistent or unsupported."""
+
+
+class GraphError(ReproError):
+    """Neural-network graph construction or validation error."""
+
+
+class CompilerError(ReproError):
+    """The NVDLA compiler could not lower or schedule the network."""
+
+
+class TilingError(CompilerError):
+    """A layer cannot be tiled into the convolution buffer."""
+
+
+class LoadableError(CompilerError):
+    """A compiled loadable is malformed or version-incompatible."""
+
+
+class TraceError(ReproError):
+    """A virtual-platform trace log could not be parsed or replayed."""
+
+
+class CodegenError(ReproError):
+    """Bare-metal code generation failed."""
+
+
+class SynthesisError(ReproError):
+    """FPGA resource estimation / feasibility check failed."""
+
+
+class OverUtilizationError(SynthesisError):
+    """The design does not fit the target device."""
+
+    def __init__(self, message: str, resource: str, used: float, available: float) -> None:
+        super().__init__(message)
+        self.resource = resource
+        self.used = used
+        self.available = available
+
+
+class ExperimentError(ReproError):
+    """A benchmark-harness experiment failed to run."""

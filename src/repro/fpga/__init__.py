@@ -1,0 +1,34 @@
+"""FPGA resource estimation (paper Table I).
+
+Vivado is not available here, so resource utilisation comes from a
+calibrated parametric model: per-component resource vectors whose
+nv_small values reproduce Table I and whose scaling laws (MAC count,
+CBUF geometry, post-processor throughput, bus widths) predict other
+configurations — in particular the paper's observation that nv_full's
+LUT demand is far beyond the ZCU102.
+
+- :mod:`repro.fpga.resources` — resource vectors and the estimators,
+- :mod:`repro.fpga.devices` — device capacity models (ZCU102 et al.),
+- :mod:`repro.fpga.report` — Table I-style utilisation reports,
+- :mod:`repro.fpga.synthesis` — feasibility checks with
+  over-utilisation diagnostics.
+"""
+
+from repro.fpga.devices import DEVICES, Device, ZCU102
+from repro.fpga.report import UtilizationReport, build_table1_report
+from repro.fpga.resources import ResourceVector, estimate_nvdla, estimate_soc, estimate_system
+from repro.fpga.synthesis import SynthesisResult, synthesize
+
+__all__ = [
+    "DEVICES",
+    "Device",
+    "ResourceVector",
+    "SynthesisResult",
+    "UtilizationReport",
+    "ZCU102",
+    "build_table1_report",
+    "estimate_nvdla",
+    "estimate_soc",
+    "estimate_system",
+    "synthesize",
+]

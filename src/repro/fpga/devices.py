@@ -1,0 +1,85 @@
+"""FPGA device capacity models.
+
+Capacities for the ZCU102 (Zynq UltraScale+ XCZU9EG) come straight
+from the header row of the paper's Table I; a few other common
+evaluation boards are included for the design-space-exploration
+example ("FPGA synthesis results demonstrate the feasibility of this
+design on low- to mid-range devices").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpga.resources import ResourceVector
+
+
+@dataclass(frozen=True)
+class Device:
+    """An FPGA part and its resource capacities."""
+
+    name: str
+    part: str
+    capacity: ResourceVector
+
+    def headroom(self, used: ResourceVector) -> dict[str, float]:
+        """Utilisation fraction per resource (>1 means over-utilised)."""
+        result: dict[str, float] = {}
+        for key, have in self.capacity.as_dict().items():
+            want = used.as_dict()[key]
+            if have > 0:
+                result[key] = want / have
+            elif want > 0:
+                result[key] = float("inf")
+        return result
+
+    def fits(self, used: ResourceVector) -> bool:
+        return all(fraction <= 1.0 for fraction in self.headroom(used).values())
+
+
+ZCU102 = Device(
+    name="ZCU102",
+    part="xczu9eg-ffvb1156",
+    capacity=ResourceVector(
+        luts=274080,
+        regs=548160,
+        carry8=34260,
+        f7_muxes=137040,
+        f8_muxes=68520,
+        clbs=34260,
+        bram_tiles=912,
+        dsps=2520,
+    ),
+)
+
+ZCU104 = Device(
+    name="ZCU104",
+    part="xczu7ev-ffvc1156",
+    capacity=ResourceVector(
+        luts=230400,
+        regs=460800,
+        carry8=28800,
+        f7_muxes=115200,
+        f8_muxes=57600,
+        clbs=28800,
+        bram_tiles=312,
+        dsps=1728,
+    ),
+)
+
+VCU118 = Device(
+    name="VCU118",
+    part="xcvu9p-flga2104",
+    capacity=ResourceVector(
+        luts=1182240,
+        regs=2364480,
+        carry8=147780,
+        f7_muxes=591120,
+        f8_muxes=295560,
+        clbs=147780,
+        bram_tiles=2160,
+        dsps=6840,
+    ),
+)
+
+DEVICES: dict[str, Device] = {d.name: d for d in (ZCU102, ZCU104, VCU118)}

@@ -1,0 +1,146 @@
+"""Resource vectors and the calibrated component estimators.
+
+The model decomposes the nv_small NVDLA of Table I into functional
+groups with distinct scaling laws:
+
+===============  ===========================  ======================
+group            share of nv_small LUTs       scales with
+===============  ===========================  ======================
+MAC array+CACC   ~40%                         mac_cells
+conv front end   ~20%  (CDMA/CSC/CBUF ctrl)   atomic_c, cbuf_banks
+post-processors  ~20%  (SDP/PDP/CDP)          unit throughputs
+infrastructure   ~20%  (MCIF/BDMA/CSB/glue)   dbb width
+===============  ===========================  ======================
+
+nv_small evaluates exactly to the published row; nv_full evaluates to
+~20x the ZCU102's LUT capacity — reproducing the paper's "LUTs
+overutilization was quite substantial" synthesis observation.
+Registers, DSPs and BRAMs follow analogous decompositions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.nvdla.config import HardwareConfig, NV_SMALL, Precision
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """One row of a utilisation table (Table I columns)."""
+
+    luts: float = 0.0
+    regs: float = 0.0
+    carry8: float = 0.0
+    f7_muxes: float = 0.0
+    f8_muxes: float = 0.0
+    clbs: float = 0.0
+    bram_tiles: float = 0.0
+    dsps: float = 0.0
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def scaled(self, factor: float) -> "ResourceVector":
+        return ResourceVector(
+            **{f.name: getattr(self, f.name) * factor for f in fields(self)}
+        )
+
+    def rounded(self) -> "ResourceVector":
+        return ResourceVector(
+            **{
+                f.name: round(getattr(self, f.name), 1)
+                for f in fields(self)
+            }
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+# ----------------------------------------------------------------------
+# Calibrated leaf components (exact Table I rows).
+# ----------------------------------------------------------------------
+
+NVDLA_SMALL = ResourceVector(74575, 79567, 1569, 3091, 1048, 15734, 66, 32)
+URISCV_CORE = ResourceVector(6346, 2767, 173, 419, 67, 1297, 0, 4)
+PROGRAM_MEMORY = ResourceVector(241, 6, 0, 45, 18, 148, 232, 0)
+SOC_GLUE = ResourceVector(824, 1319, 20, 0, 0, 0, 0, 0)  # bridges/arbiter/decoder
+MIG_DDR4 = ResourceVector(8651, 10260, 56, 164, 0, 1754, 25.5, 3)
+AXI_SMARTCONNECT = ResourceVector(5546, 7860, 0, 0, 0, 1137, 0, 0)
+SETUP_GLUE = ResourceVector(550, 1045, 7, 0, 0, 0, 0, 0)  # AXI interconnect etc.
+
+# CLBs pack ~4.8 LUT-equivalents each on this family; the published
+# rows are consistent with per-component packing, so composites are
+# reported as sums (the small CLB-packing nonlinearity is ignored).
+
+# Decomposition shares of the nv_small NVDLA (see module docstring).
+_SHARES = {"mac": 0.40, "conv_frontend": 0.20, "post": 0.20, "infra": 0.20}
+_DSP_SHARES = {"mac": 1.0, "conv_frontend": 0.0, "post": 0.0, "infra": 0.0}
+_BRAM_SHARES = {"mac": 0.0, "conv_frontend": 0.70, "post": 0.15, "infra": 0.15}
+
+
+def estimate_nvdla(config: HardwareConfig) -> ResourceVector:
+    """Parametric NVDLA resource estimate.
+
+    Exact for nv_small (the calibration point); other configurations
+    scale each functional group by its governing parameter relative to
+    nv_small.
+    """
+    base = NV_SMALL
+    mac_scale = config.mac_cells / base.mac_cells
+    frontend_scale = 0.5 * (config.atomic_c / base.atomic_c) + 0.5 * (
+        config.cbuf_bytes / base.cbuf_bytes
+    )
+    post_scale = (
+        config.sdp_throughput + config.pdp_throughput + config.cdp_throughput
+    ) / (base.sdp_throughput + base.pdp_throughput + base.cdp_throughput)
+    infra_scale = 0.5 + 0.5 * (config.dbb_width_bits / base.dbb_width_bits)
+    fp16_factor = 1.3 if config.supports(Precision.FP16) else 1.0
+
+    def combine(total: float, shares: dict[str, float]) -> float:
+        return total * (
+            shares["mac"] * mac_scale * fp16_factor
+            + shares["conv_frontend"] * frontend_scale
+            + shares["post"] * post_scale
+            + shares["infra"] * infra_scale
+        )
+
+    return ResourceVector(
+        luts=combine(NVDLA_SMALL.luts, _SHARES),
+        regs=combine(NVDLA_SMALL.regs, _SHARES),
+        carry8=combine(NVDLA_SMALL.carry8, _SHARES),
+        f7_muxes=combine(NVDLA_SMALL.f7_muxes, _SHARES),
+        f8_muxes=combine(NVDLA_SMALL.f8_muxes, _SHARES),
+        clbs=combine(NVDLA_SMALL.clbs, _SHARES),
+        bram_tiles=combine(NVDLA_SMALL.bram_tiles, _BRAM_SHARES),
+        dsps=combine(NVDLA_SMALL.dsps, _DSP_SHARES),
+    ).rounded()
+
+
+def estimate_soc(config: HardwareConfig = NV_SMALL) -> ResourceVector:
+    """The Fig. 2 SoC: NVDLA + µRISC-V + program memory + glue."""
+    return estimate_nvdla(config) + URISCV_CORE + PROGRAM_MEMORY + SOC_GLUE
+
+
+def estimate_system(config: HardwareConfig = NV_SMALL) -> ResourceVector:
+    """The Fig. 4 overall setup: SoC + MIG + SmartConnect + glue."""
+    return estimate_soc(config) + MIG_DDR4 + AXI_SMARTCONNECT + SETUP_GLUE
+
+
+def component_breakdown(config: HardwareConfig = NV_SMALL) -> dict[str, ResourceVector]:
+    """All Table I rows, keyed like the paper's first column."""
+    return {
+        "Overall System Set-up": estimate_system(config),
+        "MIG DDR4": MIG_DDR4,
+        "AXI SmartConnect": AXI_SMARTCONNECT,
+        "Our SoC": estimate_soc(config),
+        f"{config.name} NVDLA": estimate_nvdla(config),
+        "uRISC_V core": URISCV_CORE,
+        "Program Memory": PROGRAM_MEMORY,
+    }

@@ -1,0 +1,77 @@
+"""Synthesis feasibility checks.
+
+`synthesize` plays the role of the Vivado synthesis run in the paper's
+§V: it evaluates the parametric resource model against a device and
+reports per-resource utilisation, raising (or flagging) the LUT
+over-utilisation the authors observed when attempting nv_full on the
+ZCU102.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import OverUtilizationError
+from repro.fpga.devices import Device, ZCU102
+from repro.fpga.resources import ResourceVector, estimate_system
+from repro.nvdla.config import HardwareConfig, NV_SMALL
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of a (modelled) synthesis run."""
+
+    config_name: str
+    device: Device
+    used: ResourceVector
+    utilization: dict[str, float] = field(default_factory=dict)
+    fits: bool = True
+    violations: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [
+            f"synthesis of {self.config_name} system on {self.device.name}: "
+            + ("FITS" if self.fits else "OVER-UTILIZED")
+        ]
+        for key, fraction in sorted(self.utilization.items(), key=lambda kv: -kv[1]):
+            marker = "  <-- over" if fraction > 1.0 else ""
+            lines.append(f"  {key:<12} {fraction * 100:7.1f}%{marker}")
+        return "\n".join(lines)
+
+
+def synthesize(
+    config: HardwareConfig = NV_SMALL,
+    device: Device = ZCU102,
+    strict: bool = False,
+) -> SynthesisResult:
+    """Evaluate the full system build against a device.
+
+    With ``strict=True`` an over-utilised design raises
+    :class:`~repro.errors.OverUtilizationError` (like a failed
+    implementation run); otherwise the result carries the violations —
+    matching how the paper reports the nv_full attempt.
+    """
+    used = estimate_system(config)
+    utilization = device.headroom(used)
+    violations = [
+        f"{key}: {fraction * 100:.1f}% of {device.name}"
+        for key, fraction in utilization.items()
+        if fraction > 1.0
+    ]
+    result = SynthesisResult(
+        config_name=config.name,
+        device=device,
+        used=used,
+        utilization=utilization,
+        fits=not violations,
+        violations=violations,
+    )
+    if strict and violations:
+        worst_key = max(utilization, key=utilization.get)
+        raise OverUtilizationError(
+            f"{config.name} does not fit {device.name}: " + "; ".join(violations),
+            resource=worst_key,
+            used=used.as_dict()[worst_key],
+            available=device.capacity.as_dict()[worst_key],
+        )
+    return result

@@ -1,0 +1,81 @@
+"""Paper reference values and table formatting."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Table II — nv_small FPGA results at 100 MHz (milliseconds), and the
+#: ESP/Linux baseline column at 50 MHz.
+PAPER_TABLE2_MS: dict[str, float] = {
+    "lenet5": 4.8,
+    "resnet18": 16.2,
+    "resnet50": 1100.0,
+}
+PAPER_TABLE2_BASELINE_MS: dict[str, float | None] = {
+    "lenet5": 263.0,
+    "resnet18": None,  # "NA" in the paper
+    "resnet50": 2500.0,
+}
+PAPER_TABLE2_LAYERS: dict[str, int] = {"lenet5": 9, "resnet18": 86, "resnet50": 228}
+PAPER_TABLE2_SIZE_MB: dict[str, float] = {"lenet5": 1.7, "resnet18": 0.8, "resnet50": 102.5}
+
+#: Table III — nv_full simulation results (clock cycles, FP16).
+PAPER_TABLE3_CYCLES: dict[str, int] = {
+    "lenet5": 143_188,
+    "resnet18": 324_387,
+    "resnet50": 26_565_315,
+    "mobilenet": 22_525_704,
+    "googlenet": 40_889_646,
+    "alexnet": 35_535_582,
+}
+PAPER_TABLE3_SIZE_MB: dict[str, float] = {
+    "lenet5": 1.7,
+    "resnet18": 0.8,
+    "resnet50": 102.5,
+    "mobilenet": 17.0,
+    "googlenet": 53.5,
+    "alexnet": 243.9,
+}
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-vs-measured data point."""
+
+    name: str
+    paper: float
+    measured: float
+
+    @property
+    def ratio(self) -> float:
+        return self.measured / self.paper if self.paper else math.inf
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str | None = None) -> str:
+    """Plain-text table with right-aligned numeric columns."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt(cells: list[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append(fmt(["-" * w for w in widths]))
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def ratio_summary(comparisons: list[Comparison]) -> str:
+    """Geometric-mean and worst-case ratio across comparisons."""
+    ratios = [c.ratio for c in comparisons if c.paper]
+    if not ratios:
+        return "no comparable rows"
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    worst = max(ratios, key=lambda r: max(r, 1 / r))
+    return f"geomean ratio {geomean:.2f}x, worst {worst:.2f}x over {len(ratios)} rows"

@@ -1,0 +1,19 @@
+"""Memory models: sparse backing store, DDR4 DRAM, and BRAM.
+
+The paper's SoC uses three kinds of storage:
+
+- 512 MB of DDR4 behind a MIG controller, shared by the µRISC-V core
+  and NVDLA's DBB port and preloaded with weights/input by the Zynq PS,
+- FPGA block-RAM program memory holding the bare-metal machine code,
+- NVDLA's internal convolution buffer (modelled in
+  :mod:`repro.nvdla.cbuf`).
+
+Storage (a paged sparse byte store) is separated from timing (cycle
+cost of bursts) so functional and timing simulation share one substrate.
+"""
+
+from repro.mem.sparse_memory import SparseMemory
+from repro.mem.dram import Dram, DramTiming
+from repro.mem.bram import Bram
+
+__all__ = ["Bram", "Dram", "DramTiming", "SparseMemory"]

@@ -1,0 +1,64 @@
+"""Neural-network substrate: the flow's "Caffe".
+
+The paper's toolflow consumes trained Caffe models.  Offline Caffe is
+unavailable here, so this package provides the equivalent substrate:
+
+- :mod:`repro.nn.layers` / :mod:`repro.nn.graph` — a Caffe-style layer
+  graph IR (tops/bottoms, named layers, shape inference),
+- :mod:`repro.nn.caffe_proto` — a prototxt-like text format and a
+  ``.caffemodel``-equivalent weight container,
+- :mod:`repro.nn.zoo` — the six evaluation networks: LeNet-5,
+  ResNet-18 (CIFAR, the paper's 0.8 MB variant), ResNet-50,
+  MobileNet, GoogLeNet and AlexNet,
+- :mod:`repro.nn.reference` — a float32 reference executor used to
+  validate the NVDLA functional model,
+- :mod:`repro.nn.quantize` — INT8 calibration tables (the paper's
+  future-work item 1) and weight quantisation.
+
+Weights are synthetic (seeded random): the flow's behaviour — data
+volumes, layer schedules, latencies — depends only on shapes, not on
+trained values; classification accuracy is out of scope (and was not
+evaluated in the paper either).
+"""
+
+from repro.nn.graph import Network
+from repro.nn.layers import (
+    BatchNorm,
+    Concat,
+    Convolution,
+    Eltwise,
+    EltwiseKind,
+    InnerProduct,
+    Input,
+    Layer,
+    Lrn,
+    Pooling,
+    PoolKind,
+    ReLU,
+    Scale,
+    Softmax,
+)
+from repro.nn.quantize import CalibrationTable, calibrate_network, quantize_weights
+from repro.nn.reference import ReferenceExecutor
+
+__all__ = [
+    "BatchNorm",
+    "CalibrationTable",
+    "Concat",
+    "Convolution",
+    "Eltwise",
+    "EltwiseKind",
+    "InnerProduct",
+    "Input",
+    "Layer",
+    "Lrn",
+    "Network",
+    "Pooling",
+    "PoolKind",
+    "ReLU",
+    "ReferenceExecutor",
+    "Scale",
+    "Softmax",
+    "calibrate_network",
+    "quantize_weights",
+]

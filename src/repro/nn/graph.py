@@ -1,0 +1,291 @@
+"""The network graph: layers, blobs, shapes and parameters.
+
+A :class:`Network` is a DAG of layers connected by named blobs, Caffe
+style.  It owns the parameter arrays (float32), performs shape
+inference at construction, and offers a builder API used by the model
+zoo::
+
+    net = Network("lenet")
+    data = net.add_input("data", (1, 28, 28))
+    conv1 = net.add_conv("conv1", data, num_output=20, kernel_size=5)
+    ...
+
+Parameters are initialised deterministically from the network name
+(He-normal weights); see the package docstring for why synthetic
+weights suffice for this reproduction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.nn.layers import (
+    BatchNorm,
+    Concat,
+    Convolution,
+    Dropout,
+    Eltwise,
+    EltwiseKind,
+    InnerProduct,
+    Input,
+    Layer,
+    Lrn,
+    Pooling,
+    PoolKind,
+    ReLU,
+    Scale,
+    Shape,
+    Softmax,
+)
+
+
+class Network:
+    """A named layer graph with parameters and inferred shapes."""
+
+    def __init__(self, name: str, seed: int | None = None) -> None:
+        self.name = name
+        self.layers: list[Layer] = []
+        self.blob_shapes: dict[str, Shape] = {}
+        self.blob_producer: dict[str, Layer] = {}
+        self.params: dict[str, dict[str, np.ndarray]] = {}
+        self.declared_output: str | None = None
+        self._layer_names: set[str] = set()
+        if seed is None:
+            digest = hashlib.sha256(name.encode()).digest()
+            seed = int.from_bytes(digest[:4], "little")
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Core growth operation.
+    # ------------------------------------------------------------------
+
+    def add(self, layer: Layer) -> str:
+        """Add a layer, infer its output shape, init its parameters.
+
+        Returns the top blob name.
+        """
+        if layer.name in self._layer_names:
+            raise GraphError(f"duplicate layer name {layer.name!r}")
+        input_shapes: list[Shape] = []
+        for bottom in layer.bottoms:
+            if bottom not in self.blob_shapes:
+                raise GraphError(f"layer {layer.name!r}: unknown bottom blob {bottom!r}")
+            input_shapes.append(self.blob_shapes[bottom])
+        if len(layer.tops) != 1:
+            raise GraphError(f"layer {layer.name!r}: exactly one top blob is supported")
+        top = layer.tops[0]
+        in_place = top in layer.bottoms
+        if top in self.blob_shapes and not in_place:
+            raise GraphError(f"layer {layer.name!r}: top blob {top!r} already produced")
+        shape = layer.output_shape(input_shapes)
+        self.layers.append(layer)
+        self._layer_names.add(layer.name)
+        self.blob_shapes[top] = shape
+        self.blob_producer[top] = layer
+        param_shapes = layer.param_shapes(input_shapes)
+        if param_shapes:
+            self.params[layer.name] = {
+                key: self._init_param(key, shape_) for key, shape_ in param_shapes.items()
+            }
+        return top
+
+    def _init_param(self, kind: str, shape: tuple[int, ...]) -> np.ndarray:
+        if kind == "variance":
+            return self._rng.uniform(0.5, 1.5, size=shape).astype(np.float32)
+        if kind == "scale":
+            return self._rng.uniform(0.8, 1.2, size=shape).astype(np.float32)
+        if kind in ("bias", "mean"):
+            return self._rng.normal(0.0, 0.05, size=shape).astype(np.float32)
+        fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else int(shape[0])
+        std = float(np.sqrt(2.0 / max(1, fan_in)))
+        return self._rng.normal(0.0, std, size=shape).astype(np.float32)
+
+    # ------------------------------------------------------------------
+    # Builder helpers (the zoo's vocabulary).
+    # ------------------------------------------------------------------
+
+    def add_input(self, name: str, shape: Shape) -> str:
+        return self.add(Input(name=name, bottoms=(), tops=(name,), shape=shape))
+
+    def add_conv(
+        self,
+        name: str,
+        bottom: str,
+        num_output: int,
+        kernel_size: int,
+        stride: int = 1,
+        pad: int = 0,
+        group: int = 1,
+        bias: bool = True,
+    ) -> str:
+        return self.add(
+            Convolution(
+                name=name,
+                bottoms=(bottom,),
+                tops=(name,),
+                num_output=num_output,
+                kernel_size=kernel_size,
+                stride=stride,
+                pad=pad,
+                group=group,
+                bias=bias,
+            )
+        )
+
+    def add_fc(self, name: str, bottom: str, num_output: int, bias: bool = True) -> str:
+        return self.add(
+            InnerProduct(
+                name=name, bottoms=(bottom,), tops=(name,), num_output=num_output, bias=bias
+            )
+        )
+
+    def add_pool(
+        self,
+        name: str,
+        bottom: str,
+        kind: PoolKind = PoolKind.MAX,
+        kernel_size: int = 2,
+        stride: int = 2,
+        pad: int = 0,
+        global_pooling: bool = False,
+    ) -> str:
+        return self.add(
+            Pooling(
+                name=name,
+                bottoms=(bottom,),
+                tops=(name,),
+                kind=kind,
+                kernel_size=kernel_size,
+                stride=stride,
+                pad=pad,
+                global_pooling=global_pooling,
+            )
+        )
+
+    def add_relu(self, name: str, bottom: str) -> str:
+        return self.add(ReLU(name=name, bottoms=(bottom,), tops=(name,)))
+
+    def add_batchnorm(self, name: str, bottom: str) -> str:
+        return self.add(BatchNorm(name=name, bottoms=(bottom,), tops=(name,)))
+
+    def add_scale(self, name: str, bottom: str, bias: bool = True) -> str:
+        return self.add(Scale(name=name, bottoms=(bottom,), tops=(name,), bias=bias))
+
+    def add_eltwise(
+        self, name: str, bottom_a: str, bottom_b: str, kind: EltwiseKind = EltwiseKind.SUM
+    ) -> str:
+        return self.add(Eltwise(name=name, bottoms=(bottom_a, bottom_b), tops=(name,), kind=kind))
+
+    def add_concat(self, name: str, bottoms: list[str]) -> str:
+        return self.add(Concat(name=name, bottoms=tuple(bottoms), tops=(name,)))
+
+    def add_lrn(
+        self,
+        name: str,
+        bottom: str,
+        local_size: int = 5,
+        alpha: float = 1e-4,
+        beta: float = 0.75,
+        k: float = 1.0,
+    ) -> str:
+        return self.add(
+            Lrn(
+                name=name,
+                bottoms=(bottom,),
+                tops=(name,),
+                local_size=local_size,
+                alpha=alpha,
+                beta=beta,
+                k=k,
+            )
+        )
+
+    def add_softmax(self, name: str, bottom: str) -> str:
+        return self.add(Softmax(name=name, bottoms=(bottom,), tops=(name,)))
+
+    def add_dropout(self, name: str, bottom: str, ratio: float = 0.5) -> str:
+        return self.add(Dropout(name=name, bottoms=(bottom,), tops=(name,), ratio=ratio))
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    @property
+    def input_layer(self) -> Input:
+        for layer in self.layers:
+            if isinstance(layer, Input):
+                return layer
+        raise GraphError(f"network {self.name!r} has no Input layer")
+
+    @property
+    def input_shape(self) -> Shape:
+        return self.input_layer.shape
+
+    def mark_output(self, blob: str) -> None:
+        """Declare the inference output explicitly.
+
+        Needed when the graph carries side outputs that inference does
+        not consume (e.g. GoogLeNet's auxiliary classifier heads, which
+        live in the caffemodel but are pruned by the compiler).
+        """
+        if blob not in self.blob_shapes:
+            raise GraphError(f"cannot mark unknown blob {blob!r} as output")
+        self.declared_output = blob
+
+    @property
+    def output_blob(self) -> str:
+        """The inference output blob.
+
+        Either declared via :meth:`mark_output`, or inferred as the
+        single unconsumed blob.
+        """
+        if self.declared_output is not None:
+            return self.declared_output
+        consumed: set[str] = set()
+        for layer in self.layers:
+            consumed.update(layer.bottoms)
+        unconsumed = [
+            top for layer in self.layers for top in layer.tops if top not in consumed
+        ]
+        if len(unconsumed) != 1:
+            raise GraphError(
+                f"network {self.name!r} has {len(unconsumed)} unconsumed blobs: {unconsumed}"
+            )
+        return unconsumed[0]
+
+    def layer_count(self) -> int:
+        """Layers excluding the Input pseudo-layer (paper's metric)."""
+        return sum(1 for layer in self.layers if not isinstance(layer, Input))
+
+    def parameter_count(self) -> int:
+        return sum(int(a.size) for params in self.params.values() for a in params.values())
+
+    def model_size_bytes(self, bytes_per_param: int = 4) -> int:
+        """Model file size (float32 by default, like a .caffemodel)."""
+        return self.parameter_count() * bytes_per_param
+
+    def consumers(self, blob: str) -> list[Layer]:
+        return [layer for layer in self.layers if blob in layer.bottoms]
+
+    def validate(self) -> None:
+        """Check the graph is a single-input DAG with one output."""
+        _ = self.input_layer
+        _ = self.output_blob
+        for layer in self.layers:
+            for bottom in layer.bottoms:
+                if bottom not in self.blob_producer:
+                    raise GraphError(f"layer {layer.name!r}: dangling bottom {bottom!r}")
+
+    def summary(self) -> str:
+        lines = [f"Network {self.name}: {self.layer_count()} layers, "
+                 f"{self.parameter_count():,} params "
+                 f"({self.model_size_bytes() / 1e6:.1f} MB fp32)"]
+        for layer in self.layers:
+            shape = self.blob_shapes[layer.tops[0]]
+            lines.append(
+                f"  {layer.type_name:<12} {layer.name:<24} -> {shape[0]}x{shape[1]}x{shape[2]}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,248 @@
+"""Layer definitions of the Caffe-style IR.
+
+Layers mirror the Caffe layer types the paper's networks use.  Each
+layer knows its parameter shapes and its output shape; parameters
+themselves (numpy arrays) live in the :class:`~repro.nn.graph.Network`
+so layers stay lightweight descriptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import GraphError
+
+Shape = tuple[int, int, int]  # (C, H, W); batch is always 1 (edge inference)
+
+
+class PoolKind(Enum):
+    MAX = "max"
+    AVE = "ave"
+
+
+class EltwiseKind(Enum):
+    SUM = "sum"
+    PROD = "prod"
+    MAX = "max"
+
+
+@dataclass(frozen=True)
+class Layer:
+    """Base layer: a name plus bottom/top blob names (Caffe style)."""
+
+    name: str
+    bottoms: tuple[str, ...]
+    tops: tuple[str, ...]
+
+    def param_shapes(self, input_shapes: list[Shape]) -> dict[str, tuple[int, ...]]:
+        """Learnable parameter shapes, keyed by parameter name."""
+        return {}
+
+    def output_shape(self, input_shapes: list[Shape]) -> Shape:
+        """Shape of the (single) top blob."""
+        if len(input_shapes) != 1:
+            raise GraphError(f"layer {self.name!r} expects one input")
+        return input_shapes[0]
+
+    @property
+    def type_name(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class Input(Layer):
+    shape: Shape = (1, 1, 1)
+
+    def output_shape(self, input_shapes: list[Shape]) -> Shape:
+        if input_shapes:
+            raise GraphError("Input layers take no bottoms")
+        return self.shape
+
+
+def _conv_output_hw(
+    h: int, w: int, kernel: int, stride: int, pad: int
+) -> tuple[int, int]:
+    out_h = (h + 2 * pad - kernel) // stride + 1
+    out_w = (w + 2 * pad - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise GraphError(f"convolution output would be empty ({out_h}x{out_w})")
+    return out_h, out_w
+
+
+@dataclass(frozen=True)
+class Convolution(Layer):
+    """2-D convolution; ``group == in_channels`` expresses depthwise."""
+
+    num_output: int = 1
+    kernel_size: int = 1
+    stride: int = 1
+    pad: int = 0
+    group: int = 1
+    bias: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_output <= 0 or self.kernel_size <= 0 or self.stride <= 0:
+            raise GraphError(f"conv {self.name!r}: bad geometry")
+        if self.pad < 0 or self.group <= 0:
+            raise GraphError(f"conv {self.name!r}: bad pad/group")
+
+    def param_shapes(self, input_shapes: list[Shape]) -> dict[str, tuple[int, ...]]:
+        c = input_shapes[0][0]
+        if c % self.group or self.num_output % self.group:
+            raise GraphError(f"conv {self.name!r}: channels not divisible by group")
+        shapes = {
+            "weight": (self.num_output, c // self.group, self.kernel_size, self.kernel_size)
+        }
+        if self.bias:
+            shapes["bias"] = (self.num_output,)
+        return shapes
+
+    def output_shape(self, input_shapes: list[Shape]) -> Shape:
+        _, h, w = input_shapes[0]
+        out_h, out_w = _conv_output_hw(h, w, self.kernel_size, self.stride, self.pad)
+        return (self.num_output, out_h, out_w)
+
+
+@dataclass(frozen=True)
+class InnerProduct(Layer):
+    """Fully connected layer; lowered to a 1x1 convolution on NVDLA."""
+
+    num_output: int = 1
+    bias: bool = True
+
+    def param_shapes(self, input_shapes: list[Shape]) -> dict[str, tuple[int, ...]]:
+        c, h, w = input_shapes[0]
+        shapes = {"weight": (self.num_output, c * h * w)}
+        if self.bias:
+            shapes["bias"] = (self.num_output,)
+        return shapes
+
+    def output_shape(self, input_shapes: list[Shape]) -> Shape:
+        return (self.num_output, 1, 1)
+
+
+@dataclass(frozen=True)
+class Pooling(Layer):
+    kind: PoolKind = PoolKind.MAX
+    kernel_size: int = 2
+    stride: int = 2
+    pad: int = 0
+    global_pooling: bool = False
+
+    def output_shape(self, input_shapes: list[Shape]) -> Shape:
+        c, h, w = input_shapes[0]
+        if self.global_pooling:
+            return (c, 1, 1)
+        # Caffe pooling uses ceil-mode output dims.
+        out_h = -(-(h + 2 * self.pad - self.kernel_size) // self.stride) + 1
+        out_w = -(-(w + 2 * self.pad - self.kernel_size) // self.stride) + 1
+        if out_h <= 0 or out_w <= 0:
+            raise GraphError(f"pool {self.name!r}: output would be empty")
+        return (c, out_h, out_w)
+
+    def effective_kernel(self, input_shape: Shape) -> tuple[int, int]:
+        if self.global_pooling:
+            return input_shape[1], input_shape[2]
+        return self.kernel_size, self.kernel_size
+
+
+@dataclass(frozen=True)
+class ReLU(Layer):
+    pass
+
+
+@dataclass(frozen=True)
+class BatchNorm(Layer):
+    """Caffe BatchNorm: running mean/variance (no learned affine)."""
+
+    eps: float = 1e-5
+
+    def param_shapes(self, input_shapes: list[Shape]) -> dict[str, tuple[int, ...]]:
+        c = input_shapes[0][0]
+        return {"mean": (c,), "variance": (c,)}
+
+
+@dataclass(frozen=True)
+class Scale(Layer):
+    """Caffe Scale: per-channel affine (pairs with BatchNorm)."""
+
+    bias: bool = True
+
+    def param_shapes(self, input_shapes: list[Shape]) -> dict[str, tuple[int, ...]]:
+        c = input_shapes[0][0]
+        shapes = {"scale": (c,)}
+        if self.bias:
+            shapes["bias"] = (c,)
+        return shapes
+
+
+@dataclass(frozen=True)
+class Eltwise(Layer):
+    kind: EltwiseKind = EltwiseKind.SUM
+
+    def output_shape(self, input_shapes: list[Shape]) -> Shape:
+        if len(input_shapes) != 2:
+            raise GraphError(f"eltwise {self.name!r} expects two inputs")
+        if input_shapes[0] != input_shapes[1]:
+            raise GraphError(
+                f"eltwise {self.name!r}: shape mismatch {input_shapes[0]} vs {input_shapes[1]}"
+            )
+        return input_shapes[0]
+
+
+@dataclass(frozen=True)
+class Concat(Layer):
+    """Channel-wise concatenation (inception blocks)."""
+
+    def output_shape(self, input_shapes: list[Shape]) -> Shape:
+        if not input_shapes:
+            raise GraphError(f"concat {self.name!r} has no inputs")
+        h, w = input_shapes[0][1], input_shapes[0][2]
+        for shape in input_shapes[1:]:
+            if shape[1:] != (h, w):
+                raise GraphError(f"concat {self.name!r}: spatial dims differ")
+        return (sum(s[0] for s in input_shapes), h, w)
+
+
+@dataclass(frozen=True)
+class Lrn(Layer):
+    """Local response normalisation (AlexNet, GoogLeNet)."""
+
+    local_size: int = 5
+    alpha: float = 1e-4
+    beta: float = 0.75
+    k: float = 1.0
+
+
+@dataclass(frozen=True)
+class Softmax(Layer):
+    """Final classifier normalisation; executed on the host CPU (NVDLA
+    has no exponential unit — the paper's flow leaves it off the
+    accelerator too)."""
+
+
+@dataclass(frozen=True)
+class Dropout(Layer):
+    """Training-time only; an inference no-op kept for Caffe parity."""
+
+    ratio: float = 0.5
+
+
+LAYER_TYPES: dict[str, type[Layer]] = {
+    cls.__name__: cls
+    for cls in (
+        Input,
+        Convolution,
+        InnerProduct,
+        Pooling,
+        ReLU,
+        BatchNorm,
+        Scale,
+        Eltwise,
+        Concat,
+        Lrn,
+        Softmax,
+        Dropout,
+    )
+}

@@ -1,0 +1,178 @@
+"""Float32 reference executor.
+
+Runs a :class:`~repro.nn.graph.Network` directly on float tensors with
+straightforward NumPy code.  It is the ground truth the NVDLA
+functional model is validated against (INT8 runs must match within
+quantisation error; FP16 within half-precision error), and it feeds
+the calibration pass in :mod:`repro.nn.quantize`.
+
+Implementations here are deliberately independent from
+:mod:`repro.nvdla.compute` — no shared kernels — so a bug in one side
+cannot silently validate the other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.nn.graph import Network
+from repro.nn.layers import (
+    BatchNorm,
+    Concat,
+    Convolution,
+    Dropout,
+    Eltwise,
+    EltwiseKind,
+    InnerProduct,
+    Input,
+    Layer,
+    Lrn,
+    Pooling,
+    PoolKind,
+    ReLU,
+    Scale,
+    Softmax,
+)
+
+
+class ReferenceExecutor:
+    """Executes a network in float32, layer by layer."""
+
+    def __init__(self, net: Network) -> None:
+        net.validate()
+        self.net = net
+
+    def run(self, image: np.ndarray, record_blobs: bool = False) -> np.ndarray:
+        """Run one CHW image through the network.
+
+        With ``record_blobs`` the executor keeps every intermediate
+        blob in :attr:`blobs` (used by calibration).
+        """
+        if image.shape != self.net.input_shape:
+            raise GraphError(
+                f"input shape {image.shape} != network input {self.net.input_shape}"
+            )
+        blobs: dict[str, np.ndarray] = {}
+        for layer in self.net.layers:
+            inputs = [blobs[b] for b in layer.bottoms]
+            if isinstance(layer, Input):
+                result = image.astype(np.float32)
+            else:
+                result = self._run_layer(layer, inputs)
+            blobs[layer.tops[0]] = result
+        self.blobs = blobs if record_blobs else {}
+        return blobs[self.net.output_blob]
+
+    # ------------------------------------------------------------------
+
+    def _run_layer(self, layer: Layer, inputs: list[np.ndarray]) -> np.ndarray:
+        params = self.net.params.get(layer.name, {})
+        if isinstance(layer, Convolution):
+            return self._conv(layer, inputs[0], params)
+        if isinstance(layer, InnerProduct):
+            flat = inputs[0].reshape(-1)
+            out = params["weight"] @ flat
+            if layer.bias:
+                out = out + params["bias"]
+            return out.reshape(layer.num_output, 1, 1).astype(np.float32)
+        if isinstance(layer, Pooling):
+            return self._pool(layer, inputs[0])
+        if isinstance(layer, ReLU):
+            return np.maximum(inputs[0], 0.0)
+        if isinstance(layer, BatchNorm):
+            mean = params["mean"].reshape(-1, 1, 1)
+            var = params["variance"].reshape(-1, 1, 1)
+            return ((inputs[0] - mean) / np.sqrt(var + layer.eps)).astype(np.float32)
+        if isinstance(layer, Scale):
+            out = inputs[0] * params["scale"].reshape(-1, 1, 1)
+            if layer.bias:
+                out = out + params["bias"].reshape(-1, 1, 1)
+            return out.astype(np.float32)
+        if isinstance(layer, Eltwise):
+            a, b = inputs
+            if layer.kind is EltwiseKind.SUM:
+                return a + b
+            if layer.kind is EltwiseKind.PROD:
+                return a * b
+            return np.maximum(a, b)
+        if isinstance(layer, Concat):
+            return np.concatenate(inputs, axis=0)
+        if isinstance(layer, Lrn):
+            return self._lrn(layer, inputs[0])
+        if isinstance(layer, Softmax):
+            flat = inputs[0].reshape(-1)
+            shifted = np.exp(flat - flat.max())
+            return (shifted / shifted.sum()).reshape(inputs[0].shape).astype(np.float32)
+        if isinstance(layer, Dropout):
+            return inputs[0]
+        raise GraphError(f"reference executor: unsupported layer {layer.type_name}")
+
+    @staticmethod
+    def _conv(layer: Convolution, x: np.ndarray, params: dict[str, np.ndarray]) -> np.ndarray:
+        weight = params["weight"]
+        k, cg, r, s = weight.shape
+        c = x.shape[0]
+        group = layer.group
+        pad = layer.pad
+        stride = layer.stride
+        padded = np.pad(x, ((0, 0), (pad, pad), (pad, pad)))
+        out_h = (padded.shape[1] - r) // stride + 1
+        out_w = (padded.shape[2] - s) // stride + 1
+        out = np.zeros((k, out_h, out_w), dtype=np.float32)
+        in_per_group = c // group
+        out_per_group = k // group
+        for g in range(group):
+            xg = padded[g * in_per_group : (g + 1) * in_per_group]
+            wg = weight[g * out_per_group : (g + 1) * out_per_group]
+            # explicit loops over the kernel window keep this reference
+            # implementation independent from the im2col path under test
+            for dy in range(r):
+                for dx in range(s):
+                    patch = xg[:, dy : dy + out_h * stride : stride, dx : dx + out_w * stride : stride]
+                    out[g * out_per_group : (g + 1) * out_per_group] += np.einsum(
+                        "kc,chw->khw", wg[:, :, dy, dx], patch, optimize=True
+                    )
+        if layer.bias:
+            out += params["bias"].reshape(-1, 1, 1)
+        return out
+
+    @staticmethod
+    def _pool(layer: Pooling, x: np.ndarray) -> np.ndarray:
+        kernel_h, kernel_w = layer.effective_kernel(x.shape)
+        stride = 1 if layer.global_pooling else layer.stride
+        pad = 0 if layer.global_pooling else layer.pad
+        c, h, w = x.shape
+        out_h = -(-(h + 2 * pad - kernel_h) // stride) + 1
+        out_w = -(-(w + 2 * pad - kernel_w) // stride) + 1
+        if layer.kind is PoolKind.MAX:
+            fill = -np.inf
+        else:
+            fill = 0.0
+        # Caffe ceil-mode may read past the padded edge; extend enough.
+        need_h = (out_h - 1) * stride + kernel_h
+        need_w = (out_w - 1) * stride + kernel_w
+        padded = np.full((c, max(h + 2 * pad, need_h), max(w + 2 * pad, need_w)), fill, dtype=np.float32)
+        padded[:, pad : pad + h, pad : pad + w] = x
+        out = np.zeros((c, out_h, out_w), dtype=np.float32)
+        for oy in range(out_h):
+            for ox in range(out_w):
+                window = padded[:, oy * stride : oy * stride + kernel_h, ox * stride : ox * stride + kernel_w]
+                if layer.kind is PoolKind.MAX:
+                    out[:, oy, ox] = window.max(axis=(1, 2))
+                else:
+                    out[:, oy, ox] = window.sum(axis=(1, 2)) / (kernel_h * kernel_w)
+        return out
+
+    @staticmethod
+    def _lrn(layer: Lrn, x: np.ndarray) -> np.ndarray:
+        c = x.shape[0]
+        half = layer.local_size // 2
+        squared = x * x
+        out = np.empty_like(x)
+        for ch in range(c):
+            lo = max(0, ch - half)
+            hi = min(c, ch + half + 1)
+            denom = (layer.k + (layer.alpha / layer.local_size) * squared[lo:hi].sum(axis=0)) ** layer.beta
+            out[ch] = x[ch] / denom
+        return out.astype(np.float32)

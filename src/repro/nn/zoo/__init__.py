@@ -1,0 +1,41 @@
+"""Model zoo: the six networks of the paper's evaluation.
+
+===========  ==============  ============  ====================
+network      input           params        paper artefact
+===========  ==============  ============  ====================
+LeNet-5      1x28x28         ~431 k        Tables II, III
+ResNet-18    3x32x32         ~0.2 M        Tables II, III
+ResNet-50    3x224x224       ~25.6 M       Tables II, III
+MobileNet    3x224x224       ~4.2 M        Table III
+GoogLeNet    3x224x224       ~7 M (+aux)   Table III
+AlexNet      3x227x227       ~61 M         Table III
+===========  ==============  ============  ====================
+
+Weights are synthetic (seeded); shapes, layer schedules and data
+volumes match the published architectures the paper evaluates.
+"""
+
+from repro.nn.zoo.lenet5 import lenet5
+from repro.nn.zoo.resnet import resnet18_cifar, resnet50
+from repro.nn.zoo.mobilenet import mobilenet_v1
+from repro.nn.zoo.googlenet import googlenet
+from repro.nn.zoo.alexnet import alexnet
+
+ZOO = {
+    "lenet5": lenet5,
+    "resnet18": resnet18_cifar,
+    "resnet50": resnet50,
+    "mobilenet": mobilenet_v1,
+    "googlenet": googlenet,
+    "alexnet": alexnet,
+}
+
+__all__ = [
+    "ZOO",
+    "alexnet",
+    "googlenet",
+    "lenet5",
+    "mobilenet_v1",
+    "resnet18_cifar",
+    "resnet50",
+]

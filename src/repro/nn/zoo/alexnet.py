@@ -1,0 +1,43 @@
+"""AlexNet (3x227x227, ~61 M params = 243.9 MB fp32 — the paper's
+largest Table III model, and its size column matches float32 AlexNet
+exactly).
+
+Uses grouped convolutions (group=2, the historical dual-GPU split) and
+LRN layers, exercising the compiler's group lowering and the CDP unit.
+"""
+
+from __future__ import annotations
+
+from repro.nn.graph import Network
+from repro.nn.layers import PoolKind
+
+
+def alexnet(num_classes: int = 1000, seed: int | None = None) -> Network:
+    """Build AlexNet with synthetic weights."""
+    net = Network("alexnet", seed=seed)
+    data = net.add_input("data", (3, 227, 227))
+    x = net.add_conv("conv1", data, num_output=96, kernel_size=11, stride=4)
+    x = net.add_relu("relu1", x)
+    x = net.add_lrn("norm1", x, local_size=5, alpha=1e-4, beta=0.75)
+    x = net.add_pool("pool1", x, PoolKind.MAX, kernel_size=3, stride=2)
+    x = net.add_conv("conv2", x, num_output=256, kernel_size=5, pad=2, group=2)
+    x = net.add_relu("relu2", x)
+    x = net.add_lrn("norm2", x, local_size=5, alpha=1e-4, beta=0.75)
+    x = net.add_pool("pool2", x, PoolKind.MAX, kernel_size=3, stride=2)
+    x = net.add_conv("conv3", x, num_output=384, kernel_size=3, pad=1)
+    x = net.add_relu("relu3", x)
+    x = net.add_conv("conv4", x, num_output=384, kernel_size=3, pad=1, group=2)
+    x = net.add_relu("relu4", x)
+    x = net.add_conv("conv5", x, num_output=256, kernel_size=3, pad=1, group=2)
+    x = net.add_relu("relu5", x)
+    x = net.add_pool("pool5", x, PoolKind.MAX, kernel_size=3, stride=2)
+    x = net.add_fc("fc6", x, num_output=4096)
+    x = net.add_relu("relu6", x)
+    x = net.add_dropout("drop6", x)
+    x = net.add_fc("fc7", x, num_output=4096)
+    x = net.add_relu("relu7", x)
+    x = net.add_dropout("drop7", x)
+    x = net.add_fc("fc8", x, num_output=num_classes)
+    net.add_softmax("prob", x)
+    net.validate()
+    return net

@@ -1,0 +1,101 @@
+"""GoogLeNet / Inception v1 (3x224x224).
+
+The BVLC caffemodel the paper sizes at 53.5 MB includes the two
+training-time auxiliary classifier heads; the inference graph proper
+is ~7 M parameters.  ``include_aux=True`` (default) builds the heads
+so the model-size column matches the paper; the compiler prunes them
+because they do not feed the declared ``prob`` output.
+
+Inception branch widths are all multiples of 32 channels, so the
+channel-wise concats are zero-copy on every NVDLA memory-atom size —
+the compiler just allocates branch outputs at adjacent surface
+offsets.
+"""
+
+from __future__ import annotations
+
+from repro.nn.graph import Network
+from repro.nn.layers import PoolKind
+
+
+def _conv_relu(
+    net: Network, name: str, bottom: str, num_output: int,
+    kernel_size: int, stride: int = 1, pad: int = 0,
+) -> str:
+    conv = net.add_conv(
+        name, bottom, num_output=num_output, kernel_size=kernel_size,
+        stride=stride, pad=pad,
+    )
+    return net.add_relu(f"relu_{name}", conv)
+
+
+def _inception(
+    net: Network,
+    name: str,
+    bottom: str,
+    c1: int,
+    c3_reduce: int,
+    c3: int,
+    c5_reduce: int,
+    c5: int,
+    pool_proj: int,
+) -> str:
+    b1 = _conv_relu(net, f"{name}_1x1", bottom, c1, 1)
+    b3 = _conv_relu(net, f"{name}_3x3_reduce", bottom, c3_reduce, 1)
+    b3 = _conv_relu(net, f"{name}_3x3", b3, c3, 3, pad=1)
+    b5 = _conv_relu(net, f"{name}_5x5_reduce", bottom, c5_reduce, 1)
+    b5 = _conv_relu(net, f"{name}_5x5", b5, c5, 5, pad=2)
+    bp = net.add_pool(f"{name}_pool", bottom, PoolKind.MAX, kernel_size=3, stride=1, pad=1)
+    bp = _conv_relu(net, f"{name}_pool_proj", bp, pool_proj, 1)
+    return net.add_concat(f"{name}_output", [b1, b3, b5, bp])
+
+
+def _aux_head(net: Network, name: str, bottom: str, num_classes: int) -> None:
+    pool = net.add_pool(f"{name}_ave_pool", bottom, PoolKind.AVE, kernel_size=5, stride=3)
+    conv = _conv_relu(net, f"{name}_conv", pool, 128, 1)
+    fc1 = net.add_fc(f"{name}_fc", conv, num_output=1024)
+    relu = net.add_relu(f"{name}_relu_fc", fc1)
+    drop = net.add_dropout(f"{name}_drop_fc", relu, ratio=0.7)
+    net.add_fc(f"{name}_classifier", drop, num_output=num_classes)
+
+
+def googlenet(
+    num_classes: int = 1000,
+    include_aux: bool = True,
+    seed: int | None = None,
+) -> Network:
+    """Build GoogLeNet; aux heads included by default for size parity."""
+    net = Network("googlenet", seed=seed)
+    data = net.add_input("data", (3, 224, 224))
+    x = _conv_relu(net, "conv1_7x7_s2", data, 64, 7, stride=2, pad=3)
+    x = net.add_pool("pool1_3x3_s2", x, PoolKind.MAX, kernel_size=3, stride=2)
+    x = net.add_lrn("pool1_norm1", x, local_size=5)
+    x = _conv_relu(net, "conv2_3x3_reduce", x, 64, 1)
+    x = _conv_relu(net, "conv2_3x3", x, 192, 3, pad=1)
+    x = net.add_lrn("conv2_norm2", x, local_size=5)
+    x = net.add_pool("pool2_3x3_s2", x, PoolKind.MAX, kernel_size=3, stride=2)
+
+    x = _inception(net, "inception_3a", x, 64, 96, 128, 16, 32, 32)
+    x = _inception(net, "inception_3b", x, 128, 128, 192, 32, 96, 64)
+    x = net.add_pool("pool3_3x3_s2", x, PoolKind.MAX, kernel_size=3, stride=2)
+
+    x = _inception(net, "inception_4a", x, 192, 96, 208, 16, 48, 64)
+    if include_aux:
+        _aux_head(net, "loss1", x, num_classes)
+    x = _inception(net, "inception_4b", x, 160, 112, 224, 24, 64, 64)
+    x = _inception(net, "inception_4c", x, 128, 128, 256, 24, 64, 64)
+    x = _inception(net, "inception_4d", x, 112, 144, 288, 32, 64, 64)
+    if include_aux:
+        _aux_head(net, "loss2", x, num_classes)
+    x = _inception(net, "inception_4e", x, 256, 160, 320, 32, 128, 128)
+    x = net.add_pool("pool4_3x3_s2", x, PoolKind.MAX, kernel_size=3, stride=2)
+
+    x = _inception(net, "inception_5a", x, 256, 160, 320, 32, 128, 128)
+    x = _inception(net, "inception_5b", x, 384, 192, 384, 48, 128, 128)
+    x = net.add_pool("pool5_7x7_s1", x, PoolKind.AVE, global_pooling=True)
+    x = net.add_dropout("pool5_drop_7x7_s1", x, ratio=0.4)
+    x = net.add_fc("loss3_classifier", x, num_output=num_classes)
+    prob = net.add_softmax("prob", x)
+    net.mark_output(prob)
+    net.validate()
+    return net

@@ -1,0 +1,28 @@
+"""LeNet-5 (the Caffe variant the NVDLA examples ship).
+
+1x28x28 input, conv 20@5x5, maxpool, conv 50@5x5, maxpool, 500-unit
+and 10-unit fully connected layers: ~431 k parameters = 1.7 MB as
+float32, matching the "Model Size 1.7 MB" row of the paper's
+Tables II/III.
+"""
+
+from __future__ import annotations
+
+from repro.nn.graph import Network
+from repro.nn.layers import PoolKind
+
+
+def lenet5(seed: int | None = None) -> Network:
+    """Build LeNet-5 with synthetic weights."""
+    net = Network("lenet5", seed=seed)
+    data = net.add_input("data", (1, 28, 28))
+    conv1 = net.add_conv("conv1", data, num_output=20, kernel_size=5)
+    pool1 = net.add_pool("pool1", conv1, PoolKind.MAX, kernel_size=2, stride=2)
+    conv2 = net.add_conv("conv2", pool1, num_output=50, kernel_size=5)
+    pool2 = net.add_pool("pool2", conv2, PoolKind.MAX, kernel_size=2, stride=2)
+    ip1 = net.add_fc("ip1", pool2, num_output=500)
+    relu1 = net.add_relu("relu1", ip1)
+    ip2 = net.add_fc("ip2", relu1, num_output=10)
+    net.add_softmax("prob", ip2)
+    net.validate()
+    return net

@@ -1,0 +1,81 @@
+"""CBUF — the convolution buffer.
+
+The banked SRAM between CDMA and the MAC array: 32 banks × 1 KiB on
+nv_small, 16 banks × 32 KiB on nv_full.  Banks are partitioned between
+feature data and weights per hardware layer (CDMA's ``D_BANK_DATA`` /
+``D_BANK_WEIGHT``); when a layer's packed weights exceed the weight
+partition the compiler must split the kernel along K and re-stream the
+input feature map once per split — the dominant extra-traffic term for
+the large ResNet-50 layers on nv_small (see
+:mod:`repro.nvdla.timing`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TilingError
+from repro.nvdla.config import HardwareConfig
+from repro.nvdla.layout import ceil_div
+
+
+@dataclass(frozen=True)
+class CbufAllocation:
+    """A bank split for one convolution layer."""
+
+    data_banks: int
+    weight_banks: int
+    bank_bytes: int
+
+    @property
+    def data_bytes(self) -> int:
+        return self.data_banks * self.bank_bytes
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.weight_banks * self.bank_bytes
+
+
+class Cbuf:
+    """Convolution-buffer capacity model."""
+
+    def __init__(self, config: HardwareConfig) -> None:
+        self.banks = config.cbuf_banks
+        self.bank_bytes = config.cbuf_bank_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.banks * self.bank_bytes
+
+    def allocate(self, data_banks: int, weight_banks: int) -> CbufAllocation:
+        """Validate a bank split requested by CDMA registers."""
+        if data_banks < 1 or weight_banks < 1:
+            raise TilingError("CBUF needs at least one bank each for data and weights")
+        if data_banks + weight_banks > self.banks:
+            raise TilingError(
+                f"CBUF over-allocated: {data_banks}+{weight_banks} banks > {self.banks}"
+            )
+        return CbufAllocation(data_banks=data_banks, weight_banks=weight_banks, bank_bytes=self.bank_bytes)
+
+    def default_split(self, weight_bytes: int) -> CbufAllocation:
+        """Bank split the compiler uses: weights get what they need (up
+        to half the buffer), data gets the rest."""
+        max_weight_banks = self.banks // 2
+        weight_banks = min(max_weight_banks, max(1, ceil_div(weight_bytes, self.bank_bytes)))
+        return CbufAllocation(
+            data_banks=self.banks - weight_banks,
+            weight_banks=weight_banks,
+            bank_bytes=self.bank_bytes,
+        )
+
+    def kernel_splits(self, weight_bytes: int, weight_banks: int) -> int:
+        """How many K-direction splits a layer needs.
+
+        If the packed weights fit the weight partition, one pass
+        suffices and the input is read once.  Otherwise the kernel is
+        split; each split re-streams the input feature map.
+        """
+        capacity = weight_banks * self.bank_bytes
+        if capacity <= 0:
+            raise TilingError("weight partition is empty")
+        return max(1, ceil_div(weight_bytes, capacity))

@@ -1,0 +1,201 @@
+"""Functional kernels for the NVDLA datapath.
+
+These implement the arithmetic of the hardware units on NumPy arrays:
+direct convolution (im2col), the SDP post-processing chain, pooling,
+LRN and eltwise.  Integer paths accumulate in int64 (hardware uses
+int32 accumulators with saturation applied by the SDP converter —
+saturation is applied at the same point here); FP16 paths accumulate
+in float32, like CMAC's FP16 pipeline.
+
+They are intentionally *not* shared with :mod:`repro.nn.reference`
+(the float reference executor) so that an arithmetic bug in one cannot
+cancel out in validation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nvdla.descriptors import EltwiseOp, PoolMode
+
+
+def conv2d_direct(
+    x: np.ndarray,
+    w: np.ndarray,
+    stride: tuple[int, int],
+    pad: tuple[int, int, int, int],
+) -> np.ndarray:
+    """Direct convolution, CHW input and KCRS weights.
+
+    Returns int64 accumulators for integer inputs and float32 for
+    floating inputs (matching CMAC/CACC accumulation).
+    ``pad`` is (top, bottom, left, right).
+    """
+    if x.ndim != 3 or w.ndim != 4:
+        raise ConfigurationError("conv2d expects CHW input and KCRS weights")
+    c, h, width = x.shape
+    k, wc, r, s = w.shape
+    if wc != c:
+        raise ConfigurationError(f"channel mismatch: input {c}, weights {wc}")
+    stride_y, stride_x = stride
+    pad_top, pad_bottom, pad_left, pad_right = pad
+
+    integer = np.issubdtype(x.dtype, np.integer)
+    acc_dtype = np.int64 if integer else np.float32
+    # Integer products are computed exactly in float64 (|a*b| <= 127^2,
+    # sums below 2^53 for any layer in the zoo), then rounded back —
+    # this keeps the hot path in BLAS instead of slow object loops.
+    compute_dtype = np.float64 if integer else np.float32
+
+    padded = np.pad(
+        x.astype(compute_dtype),
+        ((0, 0), (pad_top, pad_bottom), (pad_left, pad_right)),
+        mode="constant",
+    )
+    ph, pw = padded.shape[1], padded.shape[2]
+    out_h = (ph - r) // stride_y + 1
+    out_w = (pw - s) // stride_x + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ConfigurationError("convolution output would be empty")
+
+    # im2col via stride tricks: windows[c, r, s, oh, ow]
+    cs, hs, ws = padded.strides
+    windows = np.lib.stride_tricks.as_strided(
+        padded,
+        shape=(c, r, s, out_h, out_w),
+        strides=(cs, hs, ws, hs * stride_y, ws * stride_x),
+        writeable=False,
+    )
+    cols = windows.reshape(c * r * s, out_h * out_w)
+    kernel = w.astype(compute_dtype).reshape(k, c * r * s)
+    acc = kernel @ cols
+    result = acc.reshape(k, out_h, out_w)
+    if integer:
+        return np.rint(result).astype(acc_dtype)
+    return result.astype(acc_dtype)
+
+
+def apply_bias(acc: np.ndarray, bias: np.ndarray | None) -> np.ndarray:
+    """Per-output-channel bias addition on the accumulator."""
+    if bias is None:
+        return acc
+    if bias.shape[0] != acc.shape[0]:
+        raise ConfigurationError(f"bias channels {bias.shape[0]} != output channels {acc.shape[0]}")
+    return acc + bias.reshape(-1, 1, 1).astype(acc.dtype)
+
+
+def apply_batchnorm(acc: np.ndarray, mult: np.ndarray | None) -> np.ndarray:
+    """Per-channel multiplier (folded batch-norm scale)."""
+    if mult is None:
+        return acc
+    if mult.shape[0] != acc.shape[0]:
+        raise ConfigurationError("batch-norm multiplier channel mismatch")
+    return acc * mult.reshape(-1, 1, 1)
+
+
+def apply_eltwise(acc: np.ndarray, op: EltwiseOp, operand: np.ndarray | None) -> np.ndarray:
+    if op is EltwiseOp.NONE:
+        return acc
+    if operand is None:
+        raise ConfigurationError("eltwise operand missing")
+    operand = operand.astype(acc.dtype)
+    if op is EltwiseOp.ADD:
+        return acc + operand
+    if op is EltwiseOp.MUL:
+        return acc * operand
+    return np.maximum(acc, operand)
+
+
+def apply_relu(acc: np.ndarray, enabled: bool) -> np.ndarray:
+    if not enabled:
+        return acc
+    return np.maximum(acc, 0)
+
+
+def requantize_int8(acc: np.ndarray, multiplier: int, shift: int) -> np.ndarray:
+    """Output converter: ``clamp(round(acc * mult / 2^shift))`` to int8."""
+    scaled = acc.astype(np.int64) * int(multiplier)
+    if shift > 0:
+        half = np.int64(1) << (shift - 1)
+        scaled = (scaled + np.sign(scaled) * half) >> shift
+    return np.clip(scaled, -128, 127).astype(np.int8)
+
+
+def convert_fp16(acc: np.ndarray, multiplier: int = 1, shift: int = 0) -> np.ndarray:
+    """FP16 output converter with an optional power-of-two rescale."""
+    scale = multiplier / float(1 << shift)
+    return (acc.astype(np.float32) * scale).astype(np.float16)
+
+
+def pool2d(
+    x: np.ndarray,
+    mode: PoolMode,
+    kernel: tuple[int, int],
+    stride: tuple[int, int],
+    pad: tuple[int, int, int, int],
+) -> np.ndarray:
+    """Pooling on a CHW tensor.  ``pad`` is (top, bottom, left, right).
+
+    Average pooling divides by the full window size with zero padding
+    (NVDLA PDP behaviour with exclusive-pad disabled).
+    """
+    kernel_h, kernel_w = kernel
+    stride_y, stride_x = stride
+    pad_top, pad_bottom, pad_left, pad_right = pad
+    integer = np.issubdtype(x.dtype, np.integer)
+    work = x.astype(np.float64 if integer else np.float32)
+
+    if mode is PoolMode.MAX:
+        fill = -np.inf
+    elif mode is PoolMode.MIN:
+        fill = np.inf
+    else:
+        fill = 0.0
+    padded = np.pad(
+        work,
+        ((0, 0), (pad_top, pad_bottom), (pad_left, pad_right)),
+        mode="constant",
+        constant_values=fill,
+    )
+    c, ph, pw = padded.shape
+    out_h = (ph - kernel_h) // stride_y + 1
+    out_w = (pw - kernel_w) // stride_x + 1
+    cs, hs, ws = padded.strides
+    windows = np.lib.stride_tricks.as_strided(
+        padded,
+        shape=(c, out_h, out_w, kernel_h, kernel_w),
+        strides=(cs, hs * stride_y, ws * stride_x, hs, ws),
+        writeable=False,
+    )
+    if mode is PoolMode.MAX:
+        result = windows.max(axis=(3, 4))
+    elif mode is PoolMode.MIN:
+        result = windows.min(axis=(3, 4))
+    else:
+        result = windows.sum(axis=(3, 4)) / float(kernel_h * kernel_w)
+    if integer:
+        return np.clip(np.rint(result), -128, 127).astype(x.dtype)
+    return result.astype(x.dtype)
+
+
+def lrn(x: np.ndarray, local_size: int, alpha: float, beta: float, k: float) -> np.ndarray:
+    """Local response normalisation across channels (AlexNet/GoogleNet).
+
+    ``y_c = x_c / (k + alpha/n * sum_{c'} x_{c'}^2) ** beta`` over a
+    window of ``n = local_size`` channels centred on ``c``.
+    """
+    work = x.astype(np.float32)
+    c = work.shape[0]
+    squared = work * work
+    half = local_size // 2
+    sums = np.zeros_like(work)
+    for offset in range(-half, half + 1):
+        lo = max(0, -offset)
+        hi = min(c, c - offset)
+        sums[lo:hi] += squared[lo + offset : hi + offset]
+    denom = (k + (alpha / local_size) * sums) ** beta
+    result = work / denom
+    if np.issubdtype(x.dtype, np.integer):
+        return np.clip(np.rint(result), -128, 127).astype(x.dtype)
+    return result.astype(x.dtype)

@@ -1,0 +1,173 @@
+"""NVDLA hardware configurations.
+
+NVDLA is parameterised RTL; the paper uses the two official
+configurations:
+
+- ``nv_small`` — 8 channel-atoms × 8 kernel-atoms = 64 INT8 MACs,
+  32 KiB convolution buffer, INT8 only, 64-bit DBB.  This is what fits
+  on the ZCU102 and produces Table II.
+- ``nv_full`` — 64 × 32 = 2048 INT8 MACs (1024 FP16), 512 KiB CBUF,
+  INT8 + FP16, 512-bit-capable DBB.  Too large for the ZCU102
+  (Table I discussion); evaluated in simulation for Table III.
+
+:class:`HardwareConfig` captures the parameters our model consumes and
+supports custom points for the design-space-exploration example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import ConfigurationError
+
+
+class Precision(Enum):
+    """Datapath element type."""
+
+    INT8 = "int8"
+    FP16 = "fp16"
+
+    @property
+    def itemsize(self) -> int:
+        return 1 if self is Precision.INT8 else 2
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """One NVDLA hardware build.
+
+    Attributes
+    ----------
+    name:
+        Configuration name (``nv_small``, ``nv_full``, or custom).
+    atomic_c:
+        Channel atoms — input channels consumed per MAC-array cycle.
+    atomic_k:
+        Kernel atoms — output channels produced per MAC-array cycle
+        (INT8; FP16 halves this because MAC cells pair up).
+    cbuf_banks / cbuf_bank_bytes:
+        Convolution-buffer geometry; total capacity is their product.
+    precisions:
+        Supported datapath element types.
+    dbb_width_bits:
+        Native width of the data-backbone AXI interface.
+    memory_atom_bytes:
+        Size of the feature/weight memory atom (packing granularity).
+    sdp_throughput / pdp_throughput / cdp_throughput:
+        Post-processor elements per cycle.
+    mac_cells:
+        Derived: total INT8 multipliers.
+    """
+
+    name: str
+    atomic_c: int
+    atomic_k: int
+    cbuf_banks: int
+    cbuf_bank_bytes: int
+    precisions: tuple[Precision, ...] = (Precision.INT8,)
+    dbb_width_bits: int = 64
+    memory_atom_bytes: int = 8
+    sdp_throughput: int = 1
+    pdp_throughput: int = 1
+    cdp_throughput: int = 1
+    bdma_supported: bool = True
+    rubik_supported: bool = True
+    extra: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.atomic_c <= 0 or self.atomic_k <= 0:
+            raise ConfigurationError("atomic dimensions must be positive")
+        if self.atomic_c % 8 or (self.atomic_k % 4 and self.atomic_k != 1):
+            raise ConfigurationError("atomics must be multiples of the memory atom lanes")
+        if self.cbuf_banks <= 0 or self.cbuf_bank_bytes <= 0:
+            raise ConfigurationError("CBUF geometry must be positive")
+        if not self.precisions:
+            raise ConfigurationError("at least one precision is required")
+        if self.dbb_width_bits % 8:
+            raise ConfigurationError("DBB width must be a whole number of bytes")
+
+    @property
+    def mac_cells(self) -> int:
+        return self.atomic_c * self.atomic_k
+
+    @property
+    def cbuf_bytes(self) -> int:
+        return self.cbuf_banks * self.cbuf_bank_bytes
+
+    @property
+    def dbb_width_bytes(self) -> int:
+        return self.dbb_width_bits // 8
+
+    def supports(self, precision: Precision) -> bool:
+        return precision in self.precisions
+
+    def macs_per_cycle(self, precision: Precision) -> int:
+        """MAC operations retired per cycle at the given precision."""
+        if not self.supports(precision):
+            raise ConfigurationError(f"{self.name} does not support {precision.value}")
+        if precision is Precision.FP16:
+            return self.atomic_c * max(1, self.atomic_k // 2)
+        return self.mac_cells
+
+    def atoms(self, precision: Precision) -> tuple[int, int]:
+        """(atomic_c, atomic_k) effective at the given precision."""
+        if precision is Precision.FP16:
+            return self.atomic_c, max(1, self.atomic_k // 2)
+        return self.atomic_c, self.atomic_k
+
+    def atom_channels(self, precision: Precision) -> int:
+        """Channels per memory atom in the packed feature format."""
+        return max(1, self.memory_atom_bytes // precision.itemsize)
+
+    def describe(self) -> str:
+        precisions = "+".join(p.value for p in self.precisions)
+        return (
+            f"{self.name}: {self.atomic_c}x{self.atomic_k} atomics "
+            f"({self.mac_cells} INT8 MACs), CBUF {self.cbuf_bytes // 1024} KiB, "
+            f"{precisions}, DBB {self.dbb_width_bits}-bit"
+        )
+
+
+NV_SMALL = HardwareConfig(
+    name="nv_small",
+    atomic_c=8,
+    atomic_k=8,
+    cbuf_banks=32,
+    cbuf_bank_bytes=1024,
+    precisions=(Precision.INT8,),
+    dbb_width_bits=64,
+    memory_atom_bytes=8,
+    sdp_throughput=1,
+    pdp_throughput=1,
+    cdp_throughput=1,
+    rubik_supported=False,
+)
+
+NV_FULL = HardwareConfig(
+    name="nv_full",
+    atomic_c=64,
+    atomic_k=32,
+    cbuf_banks=16,
+    cbuf_bank_bytes=32 * 1024,
+    precisions=(Precision.INT8, Precision.FP16),
+    dbb_width_bits=512,
+    memory_atom_bytes=32,
+    sdp_throughput=16,
+    pdp_throughput=8,
+    cdp_throughput=8,
+)
+
+CONFIGS: dict[str, HardwareConfig] = {
+    "nv_small": NV_SMALL,
+    "nv_full": NV_FULL,
+}
+
+
+def get_config(name: str) -> HardwareConfig:
+    """Look up a named configuration."""
+    try:
+        return CONFIGS[name]
+    except KeyError:
+        known = ", ".join(sorted(CONFIGS))
+        raise ConfigurationError(f"unknown NVDLA config {name!r} (known: {known})") from None

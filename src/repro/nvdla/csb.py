@@ -1,0 +1,59 @@
+"""CSB — configuration space bus address map and decode.
+
+The CSB is NVDLA's register access port: single outstanding 32-bit
+transactions.  In the paper's SoC it sits behind the AHB→APB bridge
+and the APB→CSB adapter, occupying the decoder window ``0x0 --
+0xFFFFF``.  Unit windows are 4 KiB each (RUBIK's window tops out the
+map below 0x11000, well inside the 1 MiB window the paper reserves).
+"""
+
+from __future__ import annotations
+
+from repro.errors import RegisterError
+
+UNIT_WINDOW = 0x1000
+
+UNIT_BASES: dict[str, int] = {
+    "GLB": 0x0000,
+    "MCIF": 0x2000,
+    "SRAMIF": 0x3000,
+    "BDMA": 0x4000,
+    "CDMA": 0x5000,
+    "CSC": 0x6000,
+    "CMAC_A": 0x7000,
+    "CMAC_B": 0x8000,
+    "CACC": 0x9000,
+    "SDP_RDMA": 0xA000,
+    "SDP": 0xB000,
+    "PDP_RDMA": 0xC000,
+    "PDP": 0xD000,
+    "CDP_RDMA": 0xE000,
+    "CDP": 0xF000,
+    "RUBIK": 0x10000,
+}
+
+CSB_SPACE_BYTES = 0x11000
+
+_BASE_TO_UNIT = {base: name for name, base in UNIT_BASES.items()}
+
+
+def decode_address(offset: int) -> tuple[str, int]:
+    """Split a CSB byte offset into (unit name, register offset)."""
+    if offset < 0 or offset >= CSB_SPACE_BYTES:
+        raise RegisterError(f"CSB offset 0x{offset:05x} outside register space", offset)
+    base = offset & ~(UNIT_WINDOW - 1)
+    unit = _BASE_TO_UNIT.get(base)
+    if unit is None:
+        raise RegisterError(f"no unit mapped at CSB window 0x{base:05x}", offset)
+    return unit, offset - base
+
+
+def register_address(unit: str, register_offset: int) -> int:
+    """Compose a CSB byte offset from unit name and register offset."""
+    try:
+        base = UNIT_BASES[unit]
+    except KeyError:
+        raise RegisterError(f"unknown unit {unit!r}") from None
+    if not 0 <= register_offset < UNIT_WINDOW:
+        raise RegisterError(f"register offset 0x{register_offset:x} outside unit window")
+    return base + register_offset

@@ -1,0 +1,114 @@
+"""MCIF — the memory-controller interface behind NVDLA's DBB port.
+
+Every unit's DMA engine funnels through MCIF, which arbitrates access
+to the single external DBB AXI port.  The model separates the two
+concerns:
+
+- **functional** — :meth:`Mcif.read`/:meth:`Mcif.write` move real
+  bytes through the attached :class:`DbbPort` (the SoC wrapper's
+  64→32-bit converter path, or the VP's direct memory),
+- **timing** — :meth:`Mcif.stream_cycles` prices bulk traffic using
+  the port's burst model, derated by a queueing-efficiency factor,
+  and records busy windows that the SoC arbiter uses to model
+  contention with the µRISC-V core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+
+class DbbPort(Protocol):
+    """What NVDLA needs from the external memory system."""
+
+    def read(self, address: int, nbytes: int) -> bytes:
+        """Functional block read."""
+        ...
+
+    def write(self, address: int, data: bytes) -> None:
+        """Functional block write."""
+        ...
+
+    def stream_cycles(self, address: int, nbytes: int) -> int:
+        """Cycle cost of streaming ``nbytes`` at ``address``."""
+        ...
+
+
+@dataclass
+class McifStats:
+    bytes_read: int = 0
+    bytes_written: int = 0
+    read_requests: int = 0
+    write_requests: int = 0
+    dma_cycles: int = 0
+
+
+@dataclass
+class DmaWindow:
+    """One DMA busy interval, for arbiter contention modelling."""
+
+    start: int
+    cycles: int
+    nbytes: int
+    direction: str  # 'read' | 'write'
+
+    @property
+    def end(self) -> int:
+        return self.start + self.cycles
+
+
+class Mcif:
+    """MCIF model: functional forwarding plus DMA cycle pricing.
+
+    Parameters
+    ----------
+    port:
+        The external memory port (SoC wrapper or VP memory).
+    dma_efficiency:
+        Fraction of theoretical burst throughput MCIF sustains; covers
+        request-queue bubbles and read/write turnarounds.
+    """
+
+    def __init__(self, port: DbbPort, dma_efficiency: float = 0.75) -> None:
+        if not 0.0 < dma_efficiency <= 1.0:
+            raise ValueError("dma_efficiency must be in (0, 1]")
+        self.port = port
+        self.dma_efficiency = dma_efficiency
+        self.stats = McifStats()
+        self.windows: list[DmaWindow] = []
+
+    # Functional ---------------------------------------------------------
+
+    def read(self, address: int, nbytes: int) -> bytes:
+        self.stats.read_requests += 1
+        self.stats.bytes_read += nbytes
+        return self.port.read(address, nbytes)
+
+    def write(self, address: int, data: bytes) -> None:
+        self.stats.write_requests += 1
+        self.stats.bytes_written += len(data)
+        self.port.write(address, data)
+
+    # Timing -------------------------------------------------------------
+
+    def stream_cycles(self, address: int, nbytes: int) -> int:
+        """Price a bulk stream, including MCIF queueing inefficiency."""
+        if nbytes <= 0:
+            return 0
+        raw = self.port.stream_cycles(address, nbytes)
+        cycles = int(round(raw / self.dma_efficiency))
+        self.stats.dma_cycles += cycles
+        return cycles
+
+    def record_window(self, start: int, cycles: int, nbytes: int, direction: str) -> None:
+        """Log a busy interval on the DBB for arbiter contention."""
+        self.windows.append(DmaWindow(start=start, cycles=cycles, nbytes=nbytes, direction=direction))
+
+    def busy_during(self, cycle: int) -> bool:
+        """Whether a DMA window covers ``cycle`` (linear scan of the
+        recent tail; windows are appended in start order)."""
+        for window in reversed(self.windows[-8:]):
+            if window.start <= cycle < window.end:
+                return True
+        return False

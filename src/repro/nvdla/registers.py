@@ -1,0 +1,199 @@
+"""Register-file infrastructure for the NVDLA units.
+
+Every NVDLA sub-unit exposes the same CSB idiom, which the bare-metal
+flow depends on:
+
+- ``S_STATUS`` — state of the two shadow register groups,
+- ``S_POINTER`` — the *producer* bit selects which shadow group CPU
+  writes land in; the *consumer* bit shows which group the hardware is
+  executing,
+- a set of ``D_*`` configuration registers, double-buffered per group,
+- ``D_OP_ENABLE`` — written last; marks the group ready to launch.
+
+:class:`RegisterBlock` implements that idiom generically; each unit
+declares its registers as a list of :class:`RegisterSpec` and reads
+back typed descriptor values when an op launches.
+
+The register *names* follow the NVDLA hardware manual; offsets use one
+32-bit word per logical field (real NVDLA bit-packs several fields per
+word).  This keeps traces the same order of magnitude as the paper's
+while keeping descriptor parsing readable; the divergence is recorded
+in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.errors import RegisterError
+
+
+class GroupStatus(IntEnum):
+    """Shadow-group state encoded in ``S_STATUS``."""
+
+    IDLE = 0
+    RUNNING = 1
+    PENDING = 2  # enabled, waiting for the other group to finish
+
+
+@dataclass(frozen=True)
+class RegisterSpec:
+    """One register: word offset within the unit and behaviour flags."""
+
+    name: str
+    offset: int
+    reset: int = 0
+    read_only: bool = False
+    shadowed: bool = True  # duplicated per ping-pong group
+
+    def __post_init__(self) -> None:
+        if self.offset % 4:
+            raise RegisterError(f"register {self.name} offset must be word-aligned", self.offset)
+
+
+# Offsets shared by every unit.
+S_STATUS = 0x000
+S_POINTER = 0x004
+D_OP_ENABLE = 0x008
+FIRST_DESCRIPTOR_OFFSET = 0x00C
+
+
+class RegisterBlock:
+    """A unit's register file with dual shadow groups.
+
+    Parameters
+    ----------
+    unit_name:
+        For error messages and traces.
+    specs:
+        Descriptor registers (offsets >= ``FIRST_DESCRIPTOR_OFFSET``).
+        ``S_STATUS``/``S_POINTER``/``D_OP_ENABLE`` are implicit.
+    """
+
+    def __init__(self, unit_name: str, specs: list[RegisterSpec]) -> None:
+        self.unit_name = unit_name
+        self._specs: dict[int, RegisterSpec] = {}
+        self._by_name: dict[str, RegisterSpec] = {}
+        for spec in specs:
+            if spec.offset < FIRST_DESCRIPTOR_OFFSET:
+                raise RegisterError(
+                    f"{unit_name}.{spec.name}: descriptor registers start at "
+                    f"0x{FIRST_DESCRIPTOR_OFFSET:03x}",
+                    spec.offset,
+                )
+            if spec.offset in self._specs:
+                raise RegisterError(f"{unit_name}: duplicate offset for {spec.name}", spec.offset)
+            if spec.name in self._by_name:
+                raise RegisterError(f"{unit_name}: duplicate register name {spec.name}")
+            self._specs[spec.offset] = spec
+            self._by_name[spec.name] = spec
+        self._groups: list[dict[int, int]] = [
+            {s.offset: s.reset for s in specs},
+            {s.offset: s.reset for s in specs},
+        ]
+        self.producer = 0
+        self.consumer = 0
+        self.status: list[GroupStatus] = [GroupStatus.IDLE, GroupStatus.IDLE]
+        self.enabled: list[bool] = [False, False]
+
+    # ------------------------------------------------------------------
+    # CSB-facing access.
+    # ------------------------------------------------------------------
+
+    def csb_read(self, offset: int) -> int:
+        if offset == S_STATUS:
+            return int(self.status[0]) | (int(self.status[1]) << 16)
+        if offset == S_POINTER:
+            return self.producer | (self.consumer << 16)
+        if offset == D_OP_ENABLE:
+            return int(self.enabled[self.producer])
+        spec = self._specs.get(offset)
+        if spec is None:
+            raise RegisterError(f"{self.unit_name}: no register at +0x{offset:03x}", offset)
+        return self._groups[self.producer][offset]
+
+    def csb_write(self, offset: int, value: int) -> None:
+        value &= 0xFFFFFFFF
+        if offset == S_STATUS:
+            raise RegisterError(f"{self.unit_name}: S_STATUS is read-only", offset)
+        if offset == S_POINTER:
+            self.producer = value & 1
+            return
+        if offset == D_OP_ENABLE:
+            if value & 1:
+                self.enable_group(self.producer)
+            return
+        spec = self._specs.get(offset)
+        if spec is None:
+            raise RegisterError(f"{self.unit_name}: no register at +0x{offset:03x}", offset)
+        if spec.read_only:
+            raise RegisterError(f"{self.unit_name}.{spec.name} is read-only", offset)
+        group = self.producer if spec.shadowed else 0
+        self._groups[group][offset] = value
+        if not spec.shadowed:
+            self._groups[1][offset] = value
+
+    # ------------------------------------------------------------------
+    # Hardware-side state machine.
+    # ------------------------------------------------------------------
+
+    def enable_group(self, group: int) -> None:
+        if self.status[group] is not GroupStatus.IDLE or self.enabled[group]:
+            raise RegisterError(
+                f"{self.unit_name}: group {group} enabled while {self.status[group].name}"
+            )
+        self.enabled[group] = True
+        self.status[group] = GroupStatus.PENDING
+
+    def launch(self, group: int) -> None:
+        if not self.enabled[group]:
+            raise RegisterError(f"{self.unit_name}: launching group {group} that is not enabled")
+        self.status[group] = GroupStatus.RUNNING
+        self.consumer = group
+
+    def complete(self, group: int) -> None:
+        self.enabled[group] = False
+        self.status[group] = GroupStatus.IDLE
+        self.consumer = group ^ 1
+
+    def pending_group(self) -> int | None:
+        """Group that is enabled but not yet running, if any."""
+        for group in (self.consumer, self.consumer ^ 1):
+            if self.enabled[group] and self.status[group] is GroupStatus.PENDING:
+                return group
+        return None
+
+    def busy(self) -> bool:
+        return any(s is GroupStatus.RUNNING for s in self.status)
+
+    # ------------------------------------------------------------------
+    # Descriptor access for the engine.
+    # ------------------------------------------------------------------
+
+    def value(self, name: str, group: int) -> int:
+        spec = self._by_name.get(name)
+        if spec is None:
+            raise RegisterError(f"{self.unit_name}: unknown register {name!r}")
+        return self._groups[group][spec.offset]
+
+    def value64(self, name_high: str, name_low: str, group: int) -> int:
+        return (self.value(name_high, group) << 32) | self.value(name_low, group)
+
+    def offset_of(self, name: str) -> int:
+        spec = self._by_name.get(name)
+        if spec is None:
+            raise RegisterError(f"{self.unit_name}: unknown register {name!r}")
+        return spec.offset
+
+    def register_names(self) -> list[str]:
+        return [s.name for s in sorted(self._specs.values(), key=lambda s: s.offset)]
+
+    def reset(self) -> None:
+        for group in self._groups:
+            for offset, spec in self._specs.items():
+                group[offset] = spec.reset
+        self.producer = 0
+        self.consumer = 0
+        self.status = [GroupStatus.IDLE, GroupStatus.IDLE]
+        self.enabled = [False, False]

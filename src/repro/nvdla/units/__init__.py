@@ -1,0 +1,26 @@
+"""NVDLA sub-unit register models.
+
+One module per hardware block, mirroring the NVDLA unit inventory:
+
+==========  ====================================================
+GLB         interrupt controller + hardware version
+MCIF        external-memory interface (DBB side, shared)
+BDMA        bulk data mover
+CDMA        convolution DMA (feature/weight fetch into CBUF)
+CSC         convolution sequence controller
+CMAC_A/B    multiply-accumulate array halves
+CACC        convolution accumulator
+SDP(+RDMA)  single-point processor: bias/BN/eltwise/ReLU/requant
+PDP(+RDMA)  planar processor: pooling
+CDP(+RDMA)  channel processor: LRN
+RUBIK       tensor reshape
+==========  ====================================================
+
+Each module declares the unit's register list and a ``parse`` function
+that turns the shadow registers of one ping-pong group into a typed
+descriptor from :mod:`repro.nvdla.descriptors`.
+"""
+
+from repro.nvdla.units.base import Unit, parse_tensor
+
+__all__ = ["Unit", "parse_tensor"]

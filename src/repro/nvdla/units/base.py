@@ -1,0 +1,90 @@
+"""Shared infrastructure for NVDLA sub-units."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.nvdla.config import Precision
+from repro.nvdla.descriptors import TensorDesc
+from repro.nvdla.registers import FIRST_DESCRIPTOR_OFFSET, RegisterBlock, RegisterSpec
+
+
+class Unit:
+    """One sub-unit: a named register block at a CSB base address.
+
+    Register offsets are assigned in declaration order starting at
+    :data:`~repro.nvdla.registers.FIRST_DESCRIPTOR_OFFSET`, one 32-bit
+    word each.
+    """
+
+    def __init__(self, name: str, register_names: list[str]) -> None:
+        specs = [
+            RegisterSpec(name=reg, offset=FIRST_DESCRIPTOR_OFFSET + 4 * index)
+            for index, reg in enumerate(register_names)
+        ]
+        self.name = name
+        self.block = RegisterBlock(name, specs)
+
+    # Convenience pass-throughs -----------------------------------------
+
+    def csb_read(self, offset: int) -> int:
+        return self.block.csb_read(offset)
+
+    def csb_write(self, offset: int, value: int) -> None:
+        self.block.csb_write(offset, value)
+
+    def reg(self, name: str, group: int) -> int:
+        return self.block.value(name, group)
+
+    def reg64(self, high: str, low: str, group: int) -> int:
+        return self.block.value64(high, low, group)
+
+    def offset_of(self, name: str) -> int:
+        return self.block.offset_of(name)
+
+    def reset(self) -> None:
+        self.block.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Unit({self.name})"
+
+
+def parse_precision(value: int, unit: str) -> Precision:
+    if value == 0:
+        return Precision.INT8
+    if value == 1:
+        return Precision.FP16
+    raise ConfigurationError(f"{unit}: unknown precision code {value}")
+
+
+def precision_code(precision: Precision) -> int:
+    return 0 if precision is Precision.INT8 else 1
+
+
+def parse_tensor(unit: Unit, group: int, prefix: str, precision: Precision) -> TensorDesc:
+    """Build a :class:`TensorDesc` from ``<prefix>_*`` registers.
+
+    Expects the register family ``ADDR_HIGH/ADDR_LOW/WIDTH/HEIGHT/
+    CHANNEL/LINE_STRIDE/SURF_STRIDE``.
+    """
+    return TensorDesc(
+        address=unit.reg64(f"{prefix}_ADDR_HIGH", f"{prefix}_ADDR_LOW", group),
+        width=unit.reg(f"{prefix}_WIDTH", group),
+        height=unit.reg(f"{prefix}_HEIGHT", group),
+        channels=unit.reg(f"{prefix}_CHANNEL", group),
+        precision=precision,
+        line_stride=unit.reg(f"{prefix}_LINE_STRIDE", group),
+        surf_stride=unit.reg(f"{prefix}_SURF_STRIDE", group),
+    )
+
+
+def tensor_register_names(prefix: str) -> list[str]:
+    """The seven registers that describe one tensor surface."""
+    return [
+        f"{prefix}_ADDR_HIGH",
+        f"{prefix}_ADDR_LOW",
+        f"{prefix}_WIDTH",
+        f"{prefix}_HEIGHT",
+        f"{prefix}_CHANNEL",
+        f"{prefix}_LINE_STRIDE",
+        f"{prefix}_SURF_STRIDE",
+    ]

@@ -1,0 +1,48 @@
+"""BDMA — bulk data mover.
+
+Strided 2-D memory copies: used by the flow for tensor relocation
+(e.g. staging an input image from the preload area into the working
+region) without CPU involvement.
+"""
+
+from __future__ import annotations
+
+from repro.nvdla.config import HardwareConfig
+from repro.nvdla.descriptors import BdmaDescriptor
+from repro.nvdla.mcif import Mcif
+from repro.nvdla.units.base import Unit
+
+REGISTER_NAMES: list[str] = [
+    "D_SRC_ADDR_HIGH",
+    "D_SRC_ADDR_LOW",
+    "D_DST_ADDR_HIGH",
+    "D_DST_ADDR_LOW",
+    "D_LINE_BYTES",
+    "D_LINE_REPEAT",
+    "D_SRC_STRIDE",
+    "D_DST_STRIDE",
+]
+
+
+def make_unit() -> Unit:
+    return Unit("BDMA", REGISTER_NAMES)
+
+
+def parse(units: dict[str, Unit], group: int, config: HardwareConfig) -> BdmaDescriptor:
+    bdma = units["BDMA"]
+    line_bytes = bdma.reg("D_LINE_BYTES", group)
+    return BdmaDescriptor(
+        src_address=bdma.reg64("D_SRC_ADDR_HIGH", "D_SRC_ADDR_LOW", group),
+        dst_address=bdma.reg64("D_DST_ADDR_HIGH", "D_DST_ADDR_LOW", group),
+        line_bytes=line_bytes,
+        lines=bdma.reg("D_LINE_REPEAT", group) or 1,
+        src_stride=bdma.reg("D_SRC_STRIDE", group) or line_bytes,
+        dst_stride=bdma.reg("D_DST_STRIDE", group) or line_bytes,
+    )
+
+
+def execute(desc: BdmaDescriptor, config: HardwareConfig, mcif: Mcif) -> None:
+    for line in range(desc.lines):
+        src = desc.src_address + line * desc.src_stride
+        dst = desc.dst_address + line * desc.dst_stride
+        mcif.write(dst, mcif.read(src, desc.line_bytes))

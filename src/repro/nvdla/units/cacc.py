@@ -1,0 +1,22 @@
+"""CACC — convolution accumulator.
+
+Collects partial sums from the MAC array and streams finished output
+stripes to the SDP on the fly.  Registers describe the accumulated
+output cube; the actual memory write belongs to SDP.
+"""
+
+from __future__ import annotations
+
+from repro.nvdla.units.base import Unit
+
+REGISTER_NAMES: list[str] = [
+    "D_MISC_CFG",  # bit0: precision
+    "D_DATAOUT_WIDTH",
+    "D_DATAOUT_HEIGHT",
+    "D_DATAOUT_CHANNEL",
+    "D_CLIP_CFG",  # accumulator saturation shift (informational)
+]
+
+
+def make_unit() -> Unit:
+    return Unit("CACC", REGISTER_NAMES)

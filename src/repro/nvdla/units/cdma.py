@@ -1,0 +1,32 @@
+"""CDMA — convolution DMA.
+
+Fetches feature data and packed weights from external memory (through
+MCIF/DBB) into the convolution buffer.  Its registers describe the
+input surface, the weight blob, padding and stride — the memory-facing
+half of a convolution hardware layer.
+"""
+
+from __future__ import annotations
+
+from repro.nvdla.units.base import Unit, tensor_register_names
+
+REGISTER_NAMES: list[str] = [
+    "D_MISC_CFG",  # bit0: precision (0=int8, 1=fp16)
+    *tensor_register_names("D_DAIN"),
+    "D_WEIGHT_ADDR_HIGH",
+    "D_WEIGHT_ADDR_LOW",
+    "D_WEIGHT_BYTES",
+    "D_CONV_STRIDE_X",
+    "D_CONV_STRIDE_Y",
+    "D_ZERO_PADDING_LEFT",
+    "D_ZERO_PADDING_RIGHT",
+    "D_ZERO_PADDING_TOP",
+    "D_ZERO_PADDING_BOTTOM",
+    "D_PADDING_VALUE",
+    "D_BANK_DATA",  # CBUF banks reserved for feature data
+    "D_BANK_WEIGHT",  # CBUF banks reserved for weights
+]
+
+
+def make_unit() -> Unit:
+    return Unit("CDMA", REGISTER_NAMES)

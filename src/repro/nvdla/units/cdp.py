@@ -1,0 +1,61 @@
+"""CDP — channel data processor (+ read DMA): LRN.
+
+Local response normalisation across channels, needed by AlexNet and
+GoogleNet.  Floating parameters travel as IEEE-754 bit patterns in the
+32-bit registers.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.nvdla.compute import lrn
+from repro.nvdla.config import HardwareConfig
+from repro.nvdla.descriptors import CdpDescriptor, bits_to_f32
+from repro.nvdla.layout import pack_feature, unpack_feature
+from repro.nvdla.mcif import Mcif
+from repro.nvdla.units.base import Unit, parse_precision, parse_tensor, tensor_register_names
+
+RDMA_REGISTER_NAMES: list[str] = [
+    *tensor_register_names("D_SRC"),
+]
+
+CDP_REGISTER_NAMES: list[str] = [
+    "D_MISC_CFG",  # bit0: precision
+    "D_LRN_LOCAL_SIZE",
+    "D_LRN_ALPHA",  # f32 bits
+    "D_LRN_BETA",  # f32 bits
+    "D_LRN_K",  # f32 bits
+    *tensor_register_names("D_DST"),
+]
+
+
+def make_rdma_unit() -> Unit:
+    return Unit("CDP_RDMA", RDMA_REGISTER_NAMES)
+
+
+def make_unit() -> Unit:
+    return Unit("CDP", CDP_REGISTER_NAMES)
+
+
+def parse(units: dict[str, Unit], group: int, config: HardwareConfig) -> CdpDescriptor:
+    cdp = units["CDP"]
+    rdma = units["CDP_RDMA"]
+    precision = parse_precision(cdp.reg("D_MISC_CFG", group) & 1, "CDP")
+    if not config.supports(precision):
+        raise ConfigurationError(f"{config.name} does not support {precision.value}")
+    return CdpDescriptor(
+        input=parse_tensor(rdma, group, "D_SRC", precision),
+        output=parse_tensor(cdp, group, "D_DST", precision),
+        local_size=cdp.reg("D_LRN_LOCAL_SIZE", group),
+        alpha=bits_to_f32(cdp.reg("D_LRN_ALPHA", group)),
+        beta=bits_to_f32(cdp.reg("D_LRN_BETA", group)),
+        k=bits_to_f32(cdp.reg("D_LRN_K", group)),
+    )
+
+
+def execute(desc: CdpDescriptor, config: HardwareConfig, mcif: Mcif) -> None:
+    atom = config.atom_channels(desc.input.precision)
+    blob = mcif.read(desc.input.address, desc.input.packed_bytes(atom))
+    x = unpack_feature(blob, desc.input.shape, atom, desc.input.precision)
+    result = lrn(x, desc.local_size, desc.alpha, desc.beta, desc.k)
+    mcif.write(desc.output.address, pack_feature(result, atom, desc.output.precision))

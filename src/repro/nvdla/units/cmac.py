@@ -1,0 +1,21 @@
+"""CMAC — the multiply-accumulate array (halves A and B).
+
+The MAC array is configuration-only at the register level: both
+halves just need the datapath precision.  Array geometry (atomic_c ×
+atomic_k) is a hardware build parameter from
+:class:`~repro.nvdla.config.HardwareConfig`.
+"""
+
+from __future__ import annotations
+
+from repro.nvdla.units.base import Unit
+
+REGISTER_NAMES: list[str] = [
+    "D_MISC_CFG",  # bit0: precision
+]
+
+
+def make_unit(half: str) -> Unit:
+    if half not in ("A", "B"):
+        raise ValueError("CMAC half must be 'A' or 'B'")
+    return Unit(f"CMAC_{half}", REGISTER_NAMES)

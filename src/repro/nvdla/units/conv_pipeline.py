@@ -1,0 +1,85 @@
+"""Convolution pipeline: CDMA → CBUF → CSC → CMAC → CACC.
+
+Assembles a :class:`~repro.nvdla.descriptors.ConvDescriptor` from the
+shadow registers of the four conv units and executes it functionally:
+unpack the feature surface and the stripe-packed weights from external
+memory, run the direct convolution, and hand raw accumulators to the
+SDP stage (conv output always flows through SDP on NVDLA).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nvdla.compute import conv2d_direct
+from repro.nvdla.config import HardwareConfig
+from repro.nvdla.descriptors import ConvDescriptor
+from repro.nvdla.layout import unpack_feature, unpack_weights, weight_size_bytes
+from repro.nvdla.mcif import Mcif
+from repro.nvdla.units.base import Unit, parse_precision, parse_tensor
+
+CONV_UNIT_NAMES = ("CDMA", "CSC", "CMAC_A", "CMAC_B", "CACC")
+
+
+def parse(units: dict[str, Unit], group: int, config: HardwareConfig) -> ConvDescriptor:
+    """Parse the conv units' group registers into a descriptor."""
+    cdma = units["CDMA"]
+    csc = units["CSC"]
+    precision = parse_precision(cdma.reg("D_MISC_CFG", group) & 1, "CDMA")
+    if not config.supports(precision):
+        raise ConfigurationError(f"{config.name} does not support {precision.value}")
+    for unit_name in ("CSC", "CMAC_A", "CMAC_B", "CACC"):
+        other = units[unit_name].reg("D_MISC_CFG", group) & 1
+        if parse_precision(other, unit_name) is not precision:
+            raise ConfigurationError(
+                f"{unit_name} precision disagrees with CDMA for group {group}"
+            )
+    input_desc = parse_tensor(cdma, group, "D_DAIN", precision)
+    desc = ConvDescriptor(
+        input=input_desc,
+        weight_address=cdma.reg64("D_WEIGHT_ADDR_HIGH", "D_WEIGHT_ADDR_LOW", group),
+        kernel_k=csc.reg("D_WEIGHT_SIZE_K", group),
+        kernel_c=csc.reg("D_WEIGHT_SIZE_C", group),
+        kernel_r=csc.reg("D_WEIGHT_SIZE_R", group),
+        kernel_s=csc.reg("D_WEIGHT_SIZE_S", group),
+        stride_x=cdma.reg("D_CONV_STRIDE_X", group),
+        stride_y=cdma.reg("D_CONV_STRIDE_Y", group),
+        pad_left=cdma.reg("D_ZERO_PADDING_LEFT", group),
+        pad_right=cdma.reg("D_ZERO_PADDING_RIGHT", group),
+        pad_top=cdma.reg("D_ZERO_PADDING_TOP", group),
+        pad_bottom=cdma.reg("D_ZERO_PADDING_BOTTOM", group),
+        precision=precision,
+        out_width=csc.reg("D_DATAOUT_WIDTH", group),
+        out_height=csc.reg("D_DATAOUT_HEIGHT", group),
+    )
+    declared_bytes = cdma.reg("D_WEIGHT_BYTES", group)
+    atomic_c, atomic_k = config.atoms(precision)
+    expected = weight_size_bytes(desc.weight_shape, atomic_c, atomic_k, precision)
+    if declared_bytes != expected:
+        raise ConfigurationError(
+            f"CDMA weight bytes {declared_bytes} != packed size {expected} for "
+            f"kernel {desc.weight_shape}"
+        )
+    return desc
+
+
+def execute(desc: ConvDescriptor, config: HardwareConfig, mcif: Mcif) -> np.ndarray:
+    """Run the convolution functionally; returns raw accumulators.
+
+    Output dtype is int64 for INT8 layers (hardware int32 accumulation
+    saturates only at the SDP converter) and float32 for FP16.
+    """
+    atom_channels = config.atom_channels(desc.precision)
+    atomic_c, atomic_k = config.atoms(desc.precision)
+    input_blob = mcif.read(desc.input.address, desc.input.packed_bytes(atom_channels))
+    x = unpack_feature(input_blob, desc.input.shape, atom_channels, desc.precision)
+    weight_bytes = weight_size_bytes(desc.weight_shape, atomic_c, atomic_k, desc.precision)
+    weight_blob = mcif.read(desc.weight_address, weight_bytes)
+    w = unpack_weights(weight_blob, desc.weight_shape, atomic_c, atomic_k, desc.precision)
+    return conv2d_direct(
+        x,
+        w,
+        stride=(desc.stride_y, desc.stride_x),
+        pad=(desc.pad_top, desc.pad_bottom, desc.pad_left, desc.pad_right),
+    )

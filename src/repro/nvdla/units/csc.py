@@ -1,0 +1,25 @@
+"""CSC — convolution sequence controller.
+
+Sequences CBUF stripes into the MAC array: holds the kernel geometry
+and the output tile dimensions of the running convolution layer.
+"""
+
+from __future__ import annotations
+
+from repro.nvdla.units.base import Unit
+
+REGISTER_NAMES: list[str] = [
+    "D_MISC_CFG",  # bit0: precision
+    "D_WEIGHT_SIZE_K",
+    "D_WEIGHT_SIZE_C",
+    "D_WEIGHT_SIZE_R",
+    "D_WEIGHT_SIZE_S",
+    "D_DATAOUT_WIDTH",
+    "D_DATAOUT_HEIGHT",
+    "D_ATOMICS",  # atoms per output stripe (informational)
+    "D_RELEASE",  # CBUF slice release policy (informational)
+]
+
+
+def make_unit() -> Unit:
+    return Unit("CSC", REGISTER_NAMES)

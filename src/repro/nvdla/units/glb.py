@@ -1,0 +1,96 @@
+"""GLB — global block: hardware version and the interrupt controller.
+
+The bare-metal flow's whole synchronisation model rests on this unit:
+after kicking off a hardware layer, the generated RISC-V code polls
+``INTR_STATUS`` until the expected completion bit is set, then clears
+it with a write-1-to-clear.  The Linux-driver baseline instead routes
+the same bit through the kernel's interrupt path (see
+:mod:`repro.baseline.linux_driver`).
+
+Each op sink owns two status bits, one per ping-pong group:
+
+========  =====  =====
+unit      g0     g1
+========  =====  =====
+CACC       0      1
+SDP        2      3
+CDP        4      5
+RUBIK      6      7
+PDP        8      9
+BDMA      10     11
+========  =====  =====
+"""
+
+from __future__ import annotations
+
+from repro.errors import RegisterError
+
+HW_VERSION = 0x000
+INTR_MASK = 0x004
+INTR_SET = 0x008
+INTR_STATUS = 0x00C
+
+#: Version word: "repro NVDLA" 1.0 (major.minor in the low bytes).
+HW_VERSION_VALUE = 0x52500100
+
+INTR_BIT: dict[str, int] = {
+    "CACC": 0,
+    "SDP": 2,
+    "CDP": 4,
+    "RUBIK": 6,
+    "PDP": 8,
+    "BDMA": 10,
+}
+
+
+def interrupt_bit(unit: str, group: int) -> int:
+    """Bit index in ``INTR_STATUS`` for a unit/group completion."""
+    try:
+        return INTR_BIT[unit] + (group & 1)
+    except KeyError:
+        raise RegisterError(f"unit {unit!r} does not raise interrupts") from None
+
+
+class Glb:
+    """Interrupt status/mask block (not ping-pong shadowed)."""
+
+    def __init__(self) -> None:
+        self.intr_mask = 0
+        self.intr_status = 0
+
+    def csb_read(self, offset: int) -> int:
+        if offset == HW_VERSION:
+            return HW_VERSION_VALUE
+        if offset == INTR_MASK:
+            return self.intr_mask
+        if offset == INTR_STATUS:
+            return self.intr_status
+        if offset == INTR_SET:
+            return 0
+        raise RegisterError(f"GLB: no register at +0x{offset:03x}", offset)
+
+    def csb_write(self, offset: int, value: int) -> None:
+        value &= 0xFFFFFFFF
+        if offset == INTR_MASK:
+            self.intr_mask = value
+            return
+        if offset == INTR_SET:
+            self.intr_status |= value
+            return
+        if offset == INTR_STATUS:
+            self.intr_status &= ~value  # write-1-to-clear
+            return
+        if offset == HW_VERSION:
+            raise RegisterError("GLB: HW_VERSION is read-only", offset)
+        raise RegisterError(f"GLB: no register at +0x{offset:03x}", offset)
+
+    def raise_interrupt(self, unit: str, group: int) -> None:
+        self.intr_status |= 1 << interrupt_bit(unit, group)
+
+    def pending(self) -> int:
+        """Unmasked pending interrupt bits (the IRQ line state)."""
+        return self.intr_status & ~self.intr_mask
+
+    def reset(self) -> None:
+        self.intr_mask = 0
+        self.intr_status = 0

@@ -1,0 +1,81 @@
+"""PDP — planar data processor (+ read DMA): pooling."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.nvdla.compute import pool2d
+from repro.nvdla.config import HardwareConfig
+from repro.nvdla.descriptors import PdpDescriptor, PoolMode
+from repro.nvdla.layout import pack_feature, unpack_feature
+from repro.nvdla.mcif import Mcif
+from repro.nvdla.units.base import Unit, parse_precision, parse_tensor, tensor_register_names
+
+RDMA_REGISTER_NAMES: list[str] = [
+    *tensor_register_names("D_SRC"),
+]
+
+PDP_REGISTER_NAMES: list[str] = [
+    "D_MISC_CFG",  # bit0: precision
+    "D_POOLING_METHOD",  # PoolMode value
+    "D_POOLING_KERNEL_WIDTH",
+    "D_POOLING_KERNEL_HEIGHT",
+    "D_POOLING_STRIDE_X",
+    "D_POOLING_STRIDE_Y",
+    "D_POOLING_PAD_LEFT",
+    "D_POOLING_PAD_RIGHT",
+    "D_POOLING_PAD_TOP",
+    "D_POOLING_PAD_BOTTOM",
+    *tensor_register_names("D_DST"),
+]
+
+
+def make_rdma_unit() -> Unit:
+    return Unit("PDP_RDMA", RDMA_REGISTER_NAMES)
+
+
+def make_unit() -> Unit:
+    return Unit("PDP", PDP_REGISTER_NAMES)
+
+
+def parse(units: dict[str, Unit], group: int, config: HardwareConfig) -> PdpDescriptor:
+    pdp = units["PDP"]
+    rdma = units["PDP_RDMA"]
+    precision = parse_precision(pdp.reg("D_MISC_CFG", group) & 1, "PDP")
+    if not config.supports(precision):
+        raise ConfigurationError(f"{config.name} does not support {precision.value}")
+    method = pdp.reg("D_POOLING_METHOD", group)
+    try:
+        mode = PoolMode(method)
+    except ValueError:
+        raise ConfigurationError(f"PDP: unknown pooling method {method}") from None
+    return PdpDescriptor(
+        input=parse_tensor(rdma, group, "D_SRC", precision),
+        output=parse_tensor(pdp, group, "D_DST", precision),
+        mode=mode,
+        kernel_w=pdp.reg("D_POOLING_KERNEL_WIDTH", group),
+        kernel_h=pdp.reg("D_POOLING_KERNEL_HEIGHT", group),
+        stride_x=pdp.reg("D_POOLING_STRIDE_X", group),
+        stride_y=pdp.reg("D_POOLING_STRIDE_Y", group),
+        pad_left=pdp.reg("D_POOLING_PAD_LEFT", group),
+        pad_right=pdp.reg("D_POOLING_PAD_RIGHT", group),
+        pad_top=pdp.reg("D_POOLING_PAD_TOP", group),
+        pad_bottom=pdp.reg("D_POOLING_PAD_BOTTOM", group),
+    )
+
+
+def execute(desc: PdpDescriptor, config: HardwareConfig, mcif: Mcif) -> None:
+    atom = config.atom_channels(desc.input.precision)
+    blob = mcif.read(desc.input.address, desc.input.packed_bytes(atom))
+    x = unpack_feature(blob, desc.input.shape, atom, desc.input.precision)
+    result = pool2d(
+        x,
+        desc.mode,
+        kernel=(desc.kernel_h, desc.kernel_w),
+        stride=(desc.stride_y, desc.stride_x),
+        pad=(desc.pad_top, desc.pad_bottom, desc.pad_left, desc.pad_right),
+    )
+    if result.shape != desc.output.shape:
+        raise ConfigurationError(
+            f"PDP result shape {result.shape} != output descriptor {desc.output.shape}"
+        )
+    mcif.write(desc.output.address, pack_feature(result, atom, desc.output.precision))

@@ -1,0 +1,54 @@
+"""RUBIK — tensor reshape engine (contract mode).
+
+Repacks a feature surface whose channel padding no longer matches the
+consumer's expectation (e.g. after channel-wise concatenation in
+GoogleNet's inception blocks).  Only ``contract`` mode is modelled —
+the only mode the compiler emits here.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.nvdla.config import HardwareConfig
+from repro.nvdla.descriptors import RubikDescriptor
+from repro.nvdla.layout import pack_feature, unpack_feature
+from repro.nvdla.mcif import Mcif
+from repro.nvdla.units.base import Unit, parse_precision, parse_tensor, tensor_register_names
+
+REGISTER_NAMES: list[str] = [
+    "D_MISC_CFG",  # bit0: precision; bits 2:1 mode
+    *tensor_register_names("D_DAIN"),
+    *tensor_register_names("D_DAOUT"),
+]
+
+_MODES = {0: "contract", 1: "split", 2: "merge"}
+
+
+def make_unit() -> Unit:
+    return Unit("RUBIK", REGISTER_NAMES)
+
+
+def parse(units: dict[str, Unit], group: int, config: HardwareConfig) -> RubikDescriptor:
+    rubik = units["RUBIK"]
+    if not config.rubik_supported:
+        raise ConfigurationError(f"{config.name} does not include RUBIK")
+    misc = rubik.reg("D_MISC_CFG", group)
+    precision = parse_precision(misc & 1, "RUBIK")
+    mode = _MODES.get((misc >> 1) & 0x3)
+    if mode is None:
+        raise ConfigurationError(f"RUBIK: unknown mode code {(misc >> 1) & 0x3}")
+    return RubikDescriptor(
+        input=parse_tensor(rubik, group, "D_DAIN", precision),
+        output=parse_tensor(rubik, group, "D_DAOUT", precision),
+        mode=mode,
+    )
+
+
+def execute(desc: RubikDescriptor, config: HardwareConfig, mcif: Mcif) -> None:
+    if desc.mode != "contract":
+        raise ConfigurationError(f"RUBIK mode {desc.mode!r} is not implemented")
+    atom = config.atom_channels(desc.input.precision)
+    blob = mcif.read(desc.input.address, desc.input.packed_bytes(atom))
+    x = unpack_feature(blob, desc.input.shape, atom, desc.input.precision)
+    reshaped = x.reshape(desc.output.shape)
+    mcif.write(desc.output.address, pack_feature(reshaped, atom, desc.output.precision))

@@ -1,0 +1,35 @@
+"""RV32IM instruction-set simulator and toolchain.
+
+Replaces the Codasip µRISC-V core and its Studio SDK in the paper's
+flow:
+
+- :mod:`repro.riscv.isa` — instruction encodings (RV32I + M + Zicsr),
+- :mod:`repro.riscv.assembler` — two-pass assembler (the paper uses
+  the Codasip SDK to compile the generated assembly),
+- :mod:`repro.riscv.disassembler` — decoder for debugging and tests,
+- :mod:`repro.riscv.cpu` — the ISS with a 4-stage pipeline timing
+  model matching the µRISC-V's IF/ID/EX/WB organisation,
+- :mod:`repro.riscv.program` — machine-code images (`.mem`/`.bin`).
+"""
+
+from repro.riscv.isa import Decoded, decode, encode
+from repro.riscv.assembler import Assembler, assemble
+from repro.riscv.disassembler import disassemble, disassemble_program
+from repro.riscv.cpu import Cpu, CpuState
+from repro.riscv.pipeline import PipelineModel, PipelineStats
+from repro.riscv.program import Program
+
+__all__ = [
+    "Assembler",
+    "Cpu",
+    "CpuState",
+    "Decoded",
+    "PipelineModel",
+    "PipelineStats",
+    "Program",
+    "assemble",
+    "decode",
+    "disassemble",
+    "disassemble_program",
+    "encode",
+]

@@ -1,0 +1,414 @@
+"""RV32IM instruction-set simulator with pipeline timing.
+
+The CPU has Harvard-style ports like the paper's µRISC-V: an
+instruction port (AHB-Lite to BRAM program memory) and a data port
+(AHB-Lite into the system bus, where the decoder splits NVDLA register
+space from DRAM).  Each :meth:`Cpu.step` executes one instruction
+functionally and returns its cycle cost from the
+:class:`~repro.riscv.pipeline.PipelineModel` plus bus wait states.
+
+The CPU also tracks *polling streaks* — repeated loads from the same
+address returning the same value inside a tight backward loop.  The
+SoC executor uses the streak to fast-forward simulated time to the
+next NVDLA event instead of spinning through millions of identical
+poll iterations (cycle accounting is unchanged; see
+:mod:`repro.core.executor`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.bus.types import BusPort
+from repro.errors import CpuFault
+from repro.riscv.isa import Decoded, decode, sign_extend, to_s32, to_u32
+from repro.riscv.pipeline import PipelineModel
+from repro.riscv.program import Program
+
+# Semihosting ecall numbers (RISC-V Linux-like ABI subset).
+ECALL_EXIT = 93
+ECALL_PUTCHAR = 64
+
+
+@lru_cache(maxsize=1 << 16)
+def _decode_cached(word: int) -> Decoded:
+    return decode(word)
+
+
+@dataclass
+class CpuState:
+    """Snapshot of architectural state for debugging and tests."""
+
+    pc: int
+    regs: tuple[int, ...]
+    cycles: int
+    instret: int
+    halted: bool
+    exit_code: int | None = None
+
+
+@dataclass
+class _PollTracker:
+    """Detects tight poll loops (same load pc/address/value repeating)."""
+
+    pc: int = -1
+    address: int = -1
+    value: int = -1
+    streak: int = 0
+
+    def observe_load(self, pc: int, address: int, value: int) -> None:
+        if pc == self.pc and address == self.address and value == self.value:
+            self.streak += 1
+        else:
+            self.pc, self.address, self.value = pc, address, value
+            self.streak = 0
+
+    def reset(self) -> None:
+        self.pc = self.address = self.value = -1
+        self.streak = 0
+
+
+class Cpu:
+    """RV32IM core with 4-stage pipeline timing.
+
+    Parameters
+    ----------
+    ibus:
+        Instruction-fetch port (program memory).
+    dbus:
+        Data port (system bus: NVDLA registers + DRAM).
+    reset_pc:
+        Initial program counter.
+    pipeline:
+        Timing model; a default 4-stage model is created if omitted.
+    fetch_cache:
+        Cache fetched words by pc (valid because program memory is
+        immutable at run time); decoding is cached globally.
+    """
+
+    def __init__(
+        self,
+        ibus: BusPort,
+        dbus: BusPort,
+        reset_pc: int = 0,
+        pipeline: PipelineModel | None = None,
+        fetch_cache: bool = True,
+    ) -> None:
+        self.ibus = ibus
+        self.dbus = dbus
+        self.pipeline = pipeline or PipelineModel()
+        self.reset_pc = reset_pc
+        self._fetch_cache_enabled = fetch_cache
+        self._fetch_cache: dict[int, tuple[int, int]] = {}
+        self.console = bytearray()
+        self.csrs: dict[int, int] = {}
+        self.poll = _PollTracker()
+        self.trace_hook = None  # optional callable(pc, Decoded)
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # Control.
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        self.regs = [0] * 32
+        self.pc = self.reset_pc
+        self.halted = False
+        self.exit_code: int | None = None
+        self.cycles = 0
+        self.instret = 0
+        self.pipeline.reset()
+        self.poll.reset()
+        self._fetch_cache.clear()
+
+    def state(self) -> CpuState:
+        return CpuState(
+            pc=self.pc,
+            regs=tuple(self.regs),
+            cycles=self.cycles,
+            instret=self.instret,
+            halted=self.halted,
+            exit_code=self.exit_code,
+        )
+
+    def invalidate_fetch_cache(self) -> None:
+        self._fetch_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+
+    def step(self) -> int:
+        """Execute one instruction; return its cycle cost."""
+        if self.halted:
+            return 0
+        pc = self.pc
+        word, fetch_wait = self._fetch(pc)
+        try:
+            d = _decode_cached(word)
+        except Exception as exc:
+            raise CpuFault(f"illegal instruction 0x{word:08x}: {exc}", pc=pc) from exc
+
+        next_pc = (pc + 4) & 0xFFFFFFFF
+        taken = False
+        bus_wait = 0
+        regs = self.regs
+        m = d.mnemonic
+
+        if d.spec.fmt.name == "R":
+            a, b = regs[d.rs1], regs[d.rs2]
+            self._write_reg(d.rd, _alu_r(m, a, b, pc))
+        elif m == "lui":
+            self._write_reg(d.rd, to_u32(d.imm << 12))
+        elif m == "auipc":
+            self._write_reg(d.rd, to_u32(pc + (d.imm << 12)))
+        elif m == "jal":
+            self._write_reg(d.rd, next_pc)
+            next_pc = to_u32(pc + d.imm)
+            taken = True
+        elif m == "jalr":
+            target = to_u32(regs[d.rs1] + d.imm) & ~1
+            self._write_reg(d.rd, next_pc)
+            next_pc = target
+            taken = True
+        elif d.is_branch:
+            if _branch_taken(m, regs[d.rs1], regs[d.rs2]):
+                next_pc = to_u32(pc + d.imm)
+                taken = True
+        elif d.is_load:
+            address = to_u32(regs[d.rs1] + d.imm)
+            value, bus_wait = self._load(m, address, pc)
+            self._write_reg(d.rd, value)
+            self.poll.observe_load(pc, address, value)
+        elif d.is_store:
+            address = to_u32(regs[d.rs1] + d.imm)
+            bus_wait = self._store(m, address, regs[d.rs2], pc)
+            self.poll.reset()
+        elif d.spec.fmt.name in ("I", "SHIFT"):
+            self._write_reg(d.rd, _alu_i(m, regs[d.rs1], d.imm, pc))
+        elif d.spec.fmt.name in ("CSR", "CSRI"):
+            self._execute_csr(d)
+        elif m == "ecall":
+            self._execute_ecall()
+        elif m == "ebreak":
+            self.halted = True
+            if self.exit_code is None:
+                self.exit_code = 0
+        elif m == "fence":
+            pass
+        else:  # pragma: no cover - table is exhaustive
+            raise CpuFault(f"unimplemented mnemonic {m}", pc=pc)
+
+        cost = self.pipeline.instruction_cycles(d, taken=taken, bus_wait=bus_wait + fetch_wait)
+        self.cycles += cost
+        self.instret += 1
+        self.pc = next_pc
+        if self.trace_hook is not None:
+            self.trace_hook(pc, d)
+        return cost
+
+    def run(self, max_instructions: int = 10_000_000) -> CpuState:
+        """Run until halt or the instruction budget is exhausted."""
+        executed = 0
+        while not self.halted and executed < max_instructions:
+            self.step()
+            executed += 1
+        if not self.halted:
+            raise CpuFault(f"program did not halt within {max_instructions} instructions", pc=self.pc)
+        return self.state()
+
+    def load_program(self, program: Program) -> None:
+        """Copy a program image into instruction memory and reset."""
+        data = program.to_bytes()
+        from repro.bus.types import Transfer, AccessType  # local to avoid cycle
+
+        self.ibus.transfer(
+            Transfer(
+                address=program.base,
+                size=4,
+                access=AccessType.WRITE,
+                data=data,
+                burst_len=len(data) // 4,
+                master="loader",
+            )
+        )
+        self.reset_pc = program.entry if program.entry is not None else program.base
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+
+    def _write_reg(self, rd: int, value: int) -> None:
+        if rd != 0:
+            self.regs[rd] = to_u32(value)
+
+    def _fetch(self, pc: int) -> tuple[int, int]:
+        if self._fetch_cache_enabled:
+            cached = self._fetch_cache.get(pc)
+            if cached is not None:
+                return cached
+        reply = self.ibus.read(pc, 4, master="ifetch")
+        word = reply.value()
+        wait = max(0, reply.cycles - 1)
+        if self._fetch_cache_enabled:
+            self._fetch_cache[pc] = (word, wait)
+        return word, wait
+
+    def _load(self, mnemonic: str, address: int, pc: int) -> tuple[int, int]:
+        size = {"lb": 1, "lbu": 1, "lh": 2, "lhu": 2, "lw": 4}[mnemonic]
+        try:
+            reply = self.dbus.read(address, size, master="cpu")
+        except Exception as exc:
+            raise CpuFault(f"load fault at 0x{address:08x}: {exc}", pc=pc) from exc
+        raw = reply.value()
+        if mnemonic == "lb":
+            value = to_u32(sign_extend(raw, 8))
+        elif mnemonic == "lh":
+            value = to_u32(sign_extend(raw, 16))
+        else:
+            value = raw
+        return value, max(0, reply.cycles - 1)
+
+    def _store(self, mnemonic: str, address: int, value: int, pc: int) -> int:
+        size = {"sb": 1, "sh": 2, "sw": 4}[mnemonic]
+        try:
+            reply = self.dbus.write(address, value & ((1 << (8 * size)) - 1), size, master="cpu")
+        except Exception as exc:
+            raise CpuFault(f"store fault at 0x{address:08x}: {exc}", pc=pc) from exc
+        return max(0, reply.cycles - 1)
+
+    def _csr_read(self, address: int) -> int:
+        from repro.riscv.isa import CSR_ADDRESSES
+
+        if address in (CSR_ADDRESSES["mcycle"], CSR_ADDRESSES["cycle"]):
+            return to_u32(self.cycles)
+        if address in (CSR_ADDRESSES["mcycleh"], CSR_ADDRESSES["cycleh"]):
+            return to_u32(self.cycles >> 32)
+        if address in (CSR_ADDRESSES["minstret"], CSR_ADDRESSES["instret"]):
+            return to_u32(self.instret)
+        if address in (CSR_ADDRESSES["minstreth"], CSR_ADDRESSES["instreth"]):
+            return to_u32(self.instret >> 32)
+        if address == CSR_ADDRESSES["mhartid"]:
+            return 0
+        return self.csrs.get(address, 0)
+
+    def _execute_csr(self, d: Decoded) -> None:
+        old = self._csr_read(d.csr)
+        if d.spec.fmt.name == "CSRI":
+            operand = d.imm
+            write = d.mnemonic == "csrrwi" or operand != 0
+        else:
+            operand = self.regs[d.rs1]
+            write = d.mnemonic == "csrrw" or d.rs1 != 0
+        if write:
+            if d.mnemonic in ("csrrw", "csrrwi"):
+                new = operand
+            elif d.mnemonic in ("csrrs", "csrrsi"):
+                new = old | operand
+            else:
+                new = old & ~operand
+            self.csrs[d.csr] = to_u32(new)
+        self._write_reg(d.rd, old)
+
+    def _execute_ecall(self) -> None:
+        code = self.regs[17]  # a7
+        if code == ECALL_EXIT:
+            self.halted = True
+            self.exit_code = to_s32(self.regs[10])
+        elif code == ECALL_PUTCHAR:
+            self.console.append(self.regs[10] & 0xFF)
+        else:
+            raise CpuFault(f"unsupported ecall {code}", pc=self.pc)
+
+    def console_text(self) -> str:
+        return self.console.decode("utf-8", errors="replace")
+
+
+def _alu_r(mnemonic: str, a: int, b: int, pc: int) -> int:
+    sa, sb = to_s32(a), to_s32(b)
+    if mnemonic == "add":
+        return a + b
+    if mnemonic == "sub":
+        return a - b
+    if mnemonic == "sll":
+        return a << (b & 31)
+    if mnemonic == "slt":
+        return int(sa < sb)
+    if mnemonic == "sltu":
+        return int(a < b)
+    if mnemonic == "xor":
+        return a ^ b
+    if mnemonic == "srl":
+        return a >> (b & 31)
+    if mnemonic == "sra":
+        return sa >> (b & 31)
+    if mnemonic == "or":
+        return a | b
+    if mnemonic == "and":
+        return a & b
+    if mnemonic == "mul":
+        return sa * sb
+    if mnemonic == "mulh":
+        return (sa * sb) >> 32
+    if mnemonic == "mulhsu":
+        return (sa * b) >> 32
+    if mnemonic == "mulhu":
+        return (a * b) >> 32
+    if mnemonic == "div":
+        if b == 0:
+            return -1
+        if sa == -(1 << 31) and sb == -1:
+            return sa
+        quotient = abs(sa) // abs(sb)  # RISC-V divides toward zero
+        return -quotient if (sa < 0) != (sb < 0) else quotient
+    if mnemonic == "divu":
+        return 0xFFFFFFFF if b == 0 else a // b
+    if mnemonic == "rem":
+        if b == 0:
+            return sa
+        if sa == -(1 << 31) and sb == -1:
+            return 0
+        remainder = abs(sa) % abs(sb)  # remainder takes the dividend's sign
+        return -remainder if sa < 0 else remainder
+    if mnemonic == "remu":
+        return a if b == 0 else a % b
+    raise CpuFault(f"unimplemented R-type {mnemonic}", pc=pc)
+
+
+def _alu_i(mnemonic: str, a: int, imm: int, pc: int) -> int:
+    sa = to_s32(a)
+    if mnemonic == "addi":
+        return a + imm
+    if mnemonic == "slti":
+        return int(sa < imm)
+    if mnemonic == "sltiu":
+        return int(a < to_u32(imm))
+    if mnemonic == "xori":
+        return a ^ to_u32(imm)
+    if mnemonic == "ori":
+        return a | to_u32(imm)
+    if mnemonic == "andi":
+        return a & to_u32(imm)
+    if mnemonic == "slli":
+        return a << imm
+    if mnemonic == "srli":
+        return a >> imm
+    if mnemonic == "srai":
+        return sa >> imm
+    raise CpuFault(f"unimplemented I-type {mnemonic}", pc=pc)
+
+
+def _branch_taken(mnemonic: str, a: int, b: int) -> bool:
+    if mnemonic == "beq":
+        return a == b
+    if mnemonic == "bne":
+        return a != b
+    if mnemonic == "blt":
+        return to_s32(a) < to_s32(b)
+    if mnemonic == "bge":
+        return to_s32(a) >= to_s32(b)
+    if mnemonic == "bltu":
+        return a < b
+    return a >= b  # bgeu

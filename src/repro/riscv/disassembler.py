@@ -1,0 +1,79 @@
+"""RV32IM disassembler.
+
+Inverse of the assembler for debugging, trace dumps and the
+encode/decode round-trip property tests.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IsaError
+from repro.riscv.isa import ABI_REGISTER_NAMES, CSR_NAMES, Decoded, Format, decode
+from repro.riscv.program import Program
+
+
+def _reg(index: int) -> str:
+    return ABI_REGISTER_NAMES[index]
+
+
+def _csr_name(address: int) -> str:
+    return CSR_NAMES.get(address, f"0x{address:03x}")
+
+
+def format_decoded(d: Decoded, pc: int | None = None) -> str:
+    """Render a decoded instruction as assembly text.
+
+    If ``pc`` is given, branch/jump targets are shown as absolute
+    addresses (matching what the assembler accepts back in).
+    """
+    m = d.mnemonic
+    fmt = d.spec.fmt
+    if fmt is Format.R:
+        return f"{m} {_reg(d.rd)}, {_reg(d.rs1)}, {_reg(d.rs2)}"
+    if fmt is Format.U:
+        return f"{m} {_reg(d.rd)}, 0x{d.imm:x}"
+    if fmt is Format.J:
+        target = f"0x{(pc + d.imm) & 0xFFFFFFFF:x}" if pc is not None else str(d.imm)
+        return f"{m} {_reg(d.rd)}, {target}"
+    if fmt is Format.B:
+        target = f"0x{(pc + d.imm) & 0xFFFFFFFF:x}" if pc is not None else str(d.imm)
+        return f"{m} {_reg(d.rs1)}, {_reg(d.rs2)}, {target}"
+    if fmt is Format.SHIFT:
+        return f"{m} {_reg(d.rd)}, {_reg(d.rs1)}, {d.imm}"
+    if fmt is Format.CSR:
+        return f"{m} {_reg(d.rd)}, {_csr_name(d.csr)}, {_reg(d.rs1)}"
+    if fmt is Format.CSRI:
+        return f"{m} {_reg(d.rd)}, {_csr_name(d.csr)}, {d.imm}"
+    if fmt is Format.SYS or fmt is Format.FENCE:
+        return m
+    if fmt is Format.I:
+        if d.is_load or m == "jalr":
+            return f"{m} {_reg(d.rd)}, {d.imm}({_reg(d.rs1)})"
+        return f"{m} {_reg(d.rd)}, {_reg(d.rs1)}, {d.imm}"
+    if fmt is Format.S:
+        return f"{m} {_reg(d.rs2)}, {d.imm}({_reg(d.rs1)})"
+    raise IsaError(f"unhandled format {fmt}")  # pragma: no cover
+
+
+def disassemble(word: int, pc: int | None = None) -> str:
+    """Disassemble one 32-bit word."""
+    return format_decoded(decode(word), pc=pc)
+
+
+def disassemble_program(program: Program, with_symbols: bool = True) -> str:
+    """Produce an address-annotated listing of a whole program."""
+    by_address: dict[int, str] = {}
+    if with_symbols:
+        for name, address in program.symbols.items():
+            by_address.setdefault(address, name)
+    lines: list[str] = []
+    for index, word in enumerate(program.words):
+        address = program.base + index * 4
+        label = by_address.get(address)
+        if label:
+            lines.append(f"{label}:")
+        try:
+            text = disassemble(word, pc=address)
+        except IsaError:
+            text = f".word 0x{word:08x}"
+        lines.append(f"  {address:08x}:  {word:08x}  {text}")
+    return "\n".join(lines) + "\n"

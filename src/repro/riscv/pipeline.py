@@ -1,0 +1,129 @@
+"""Timing model of the µRISC-V 4-stage pipeline.
+
+The Codasip µRISC-V used in the paper is a 32-bit, 4-stage in-order
+pipeline (IF / ID / EX / WB).  With a 1-cycle program BRAM it sustains
+one instruction per cycle except for the classic in-order penalties:
+
+- **load-use hazard** — a load followed immediately by a consumer
+  stalls one cycle (the loaded value arrives at WB),
+- **taken control flow** — branches resolve in EX, so a taken branch
+  or any jump flushes the two younger stages,
+- **multi-cycle EX** — M-extension multiply/divide iterate in EX,
+- **bus wait states** — data-memory transfers beyond a single cycle
+  stall the pipeline for the extra cycles (reported by the bus reply).
+
+The model is table-driven and kept separate from the ISS so the same
+functional core can be timed with different pipeline depths in
+ablation studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.riscv.isa import Decoded
+
+
+@dataclass
+class PipelineStats:
+    """Cycle breakdown accumulated across a run."""
+
+    instructions: int = 0
+    cycles: int = 0
+    load_use_stalls: int = 0
+    control_flushes: int = 0
+    muldiv_stalls: int = 0
+    bus_wait_cycles: int = 0
+    by_class: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+
+@dataclass
+class PipelineModel:
+    """Cost parameters of the 4-stage in-order pipeline."""
+
+    base_cpi: int = 1
+    load_use_penalty: int = 1
+    taken_branch_penalty: int = 2  # IF+ID flushed on EX-resolved branches
+    jump_penalty: int = 2
+    mul_cycles: int = 3  # iterative 32x32 multiplier
+    div_cycles: int = 18  # radix-2 divider
+    fetch_wait_states: int = 0  # extra cycles per fetch beyond 1-cycle BRAM
+
+    def __post_init__(self) -> None:
+        self.stats = PipelineStats()
+        self._pending_load_rd: int | None = None
+
+    def reset(self) -> None:
+        self.stats = PipelineStats()
+        self._pending_load_rd = None
+
+    def instruction_cycles(
+        self,
+        decoded: Decoded,
+        taken: bool = False,
+        bus_wait: int = 0,
+    ) -> int:
+        """Cycles consumed by one instruction.
+
+        Parameters
+        ----------
+        decoded:
+            The decoded instruction.
+        taken:
+            Whether a branch/jump redirected the front end.
+        bus_wait:
+            Extra data-bus cycles beyond the ideal single-cycle access
+            (from the bus :class:`~repro.bus.types.Reply`).
+        """
+        cycles = self.base_cpi + self.fetch_wait_states
+
+        # Load-use: the previous instruction was a load whose result
+        # this instruction consumes before it reaches WB.
+        if self._pending_load_rd is not None and self._pending_load_rd != 0:
+            sources = {decoded.rs1, decoded.rs2}
+            if self._pending_load_rd in sources:
+                cycles += self.load_use_penalty
+                self.stats.load_use_stalls += 1
+        self._pending_load_rd = decoded.rd if decoded.is_load else None
+
+        if decoded.is_mul_div:
+            extra = (
+                self.mul_cycles - 1
+                if decoded.mnemonic.startswith("mul")
+                else self.div_cycles - 1
+            )
+            cycles += extra
+            self.stats.muldiv_stalls += extra
+
+        if taken and (decoded.is_branch or decoded.is_jump):
+            penalty = self.jump_penalty if decoded.is_jump else self.taken_branch_penalty
+            cycles += penalty
+            self.stats.control_flushes += 1
+
+        if bus_wait > 0:
+            cycles += bus_wait
+            self.stats.bus_wait_cycles += bus_wait
+
+        self.stats.instructions += 1
+        self.stats.cycles += cycles
+        klass = _classify(decoded)
+        self.stats.by_class[klass] = self.stats.by_class.get(klass, 0) + 1
+        return cycles
+
+
+def _classify(decoded: Decoded) -> str:
+    if decoded.is_load:
+        return "load"
+    if decoded.is_store:
+        return "store"
+    if decoded.is_branch:
+        return "branch"
+    if decoded.is_jump:
+        return "jump"
+    if decoded.is_mul_div:
+        return "muldiv"
+    return "alu"

@@ -1,0 +1,106 @@
+"""Machine-code program images.
+
+The paper's flow ships programs to the FPGA as ``.mem`` files loaded
+into BRAM program memory and weight/input blobs as ``.bin`` files
+preloaded into DDR4.  :class:`Program` is the in-memory form of the
+former, with serialisers for both file formats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IsaError
+
+
+@dataclass
+class Program:
+    """An assembled machine-code image.
+
+    Attributes
+    ----------
+    base:
+        Load address of the first byte.
+    words:
+        Little-endian 32-bit instruction/data words.
+    symbols:
+        Label → absolute address map (debugging, tests, codegen).
+    entry:
+        Initial program counter; defaults to ``base``.
+    source:
+        Optional assembly source the image was built from.
+    """
+
+    base: int = 0
+    words: list[int] = field(default_factory=list)
+    symbols: dict[str, int] = field(default_factory=dict)
+    entry: int | None = None
+    source: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.base % 4 != 0:
+            raise IsaError("program base must be word-aligned")
+        if self.entry is None:
+            self.entry = self.base
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.words) * 4
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size_bytes
+
+    def word_at(self, address: int) -> int:
+        if address % 4 != 0:
+            raise IsaError(f"unaligned program address 0x{address:08x}")
+        index = (address - self.base) // 4
+        if not 0 <= index < len(self.words):
+            raise IsaError(f"address 0x{address:08x} outside program image")
+        return self.words[index]
+
+    def to_bytes(self) -> bytes:
+        return b"".join(word.to_bytes(4, "little") for word in self.words)
+
+    def to_bin_file(self) -> bytes:
+        """Raw ``.bin`` image (what the Zynq preloads into memory)."""
+        return self.to_bytes()
+
+    def to_mem_file(self) -> str:
+        """Vivado ``.mem`` format: ``@word_address`` then hex words."""
+        lines = [f"@{self.base // 4:08X}"]
+        lines.extend(f"{word:08X}" for word in self.words)
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_bytes(cls, blob: bytes, base: int = 0) -> "Program":
+        if len(blob) % 4 != 0:
+            raise IsaError("program image must be a whole number of words")
+        words = [int.from_bytes(blob[i : i + 4], "little") for i in range(0, len(blob), 4)]
+        return cls(base=base, words=words)
+
+    @classmethod
+    def from_mem_file(cls, text: str) -> "Program":
+        base: int | None = None
+        address: int | None = None
+        words: list[int] = []
+        for raw_line in text.splitlines():
+            line = raw_line.split("//")[0].strip()
+            if not line:
+                continue
+            for token in line.split():
+                if token.startswith("@"):
+                    word_address = int(token[1:], 16)
+                    if base is None:
+                        base = word_address * 4
+                        address = word_address
+                    elif word_address != address:
+                        raise IsaError(".mem images with holes are not supported")
+                    continue
+                if base is None:
+                    base = 0
+                    address = 0
+                words.append(int(token, 16))
+                assert address is not None
+                address += 1
+        return cls(base=base or 0, words=words)

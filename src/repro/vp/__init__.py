@@ -1,0 +1,29 @@
+"""NVDLA virtual platform (paper Fig. 3).
+
+The real flow runs the compiled network on NVDLA's QEMU + SystemC
+co-simulation and logs interface-level transactions.  Here the same
+role is played by:
+
+- :class:`~repro.vp.platform.VirtualPlatform` — the NVDLA model wired
+  to a flat memory with logging adaptors on both interfaces
+  (``nvdla.csb_adaptor`` / ``nvdla.dbb_adaptor``, the log keywords the
+  paper's scripts grep for),
+- :class:`~repro.vp.runtime.NvdlaRuntime` — the user-mode-driver
+  equivalent that deploys a loadable, programs registers op by op and
+  waits on completion interrupts,
+- :mod:`repro.vp.trace_log` — the log format, writer and parser.
+"""
+
+from repro.vp.platform import VirtualPlatform
+from repro.vp.runtime import InferenceResult, NvdlaRuntime
+from repro.vp.trace_log import CsbTransaction, DbbTransaction, TraceLog, parse_trace
+
+__all__ = [
+    "CsbTransaction",
+    "DbbTransaction",
+    "InferenceResult",
+    "NvdlaRuntime",
+    "TraceLog",
+    "VirtualPlatform",
+    "parse_trace",
+]

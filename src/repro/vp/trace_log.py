@@ -1,0 +1,128 @@
+"""VP trace-log format, writer and parser.
+
+The NVDLA virtual platform logs one line per interface transaction;
+the paper's scripts filter on the adaptor keywords::
+
+    12 nvdla.csb_adaptor: addr=0x0000b010 data=0x00000001 iswrite=1
+    15 nvdla.csb_adaptor: addr=0x0000000c data=0x00000004 iswrite=0
+    20 nvdla.dbb_adaptor: addr=0x00100000 len=64 iswrite=0 data=a1b2...
+
+CSB lines carry one 32-bit register access; DBB lines carry up to
+``DBB_LINE_BYTES`` of memory traffic with hex payload (reads log the
+data returned — that is what weight extraction reconstructs).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import TraceError
+
+CSB_KEYWORD = "nvdla.csb_adaptor"
+DBB_KEYWORD = "nvdla.dbb_adaptor"
+DBB_LINE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class CsbTransaction:
+    """One register access on the configuration space bus."""
+
+    cycle: int
+    address: int  # byte offset in the NVDLA register window
+    data: int
+    iswrite: bool
+
+    def render(self) -> str:
+        return (
+            f"{self.cycle} {CSB_KEYWORD}: addr=0x{self.address:08x} "
+            f"data=0x{self.data:08x} iswrite={int(self.iswrite)}"
+        )
+
+
+@dataclass(frozen=True)
+class DbbTransaction:
+    """One memory transaction on the data backbone."""
+
+    cycle: int
+    address: int  # absolute bus address
+    data: bytes
+    iswrite: bool
+
+    def render(self) -> str:
+        return (
+            f"{self.cycle} {DBB_KEYWORD}: addr=0x{self.address:08x} "
+            f"len={len(self.data)} iswrite={int(self.iswrite)} data={self.data.hex()}"
+        )
+
+
+@dataclass
+class TraceLog:
+    """An append-only transaction log with text round-tripping."""
+
+    csb: list[CsbTransaction] = field(default_factory=list)
+    dbb: list[DbbTransaction] = field(default_factory=list)
+    _order: list[tuple[str, int]] = field(default_factory=list)
+
+    def log_csb(self, cycle: int, address: int, data: int, iswrite: bool) -> None:
+        self.csb.append(CsbTransaction(cycle, address, data & 0xFFFFFFFF, iswrite))
+        self._order.append(("csb", len(self.csb) - 1))
+
+    def log_dbb(self, cycle: int, address: int, data: bytes, iswrite: bool) -> None:
+        for offset in range(0, len(data), DBB_LINE_BYTES):
+            chunk = data[offset : offset + DBB_LINE_BYTES]
+            self.dbb.append(DbbTransaction(cycle, address + offset, chunk, iswrite))
+            self._order.append(("dbb", len(self.dbb) - 1))
+
+    def transactions(self) -> Iterable[CsbTransaction | DbbTransaction]:
+        """All transactions in logged order."""
+        for kind, index in self._order:
+            yield self.csb[index] if kind == "csb" else self.dbb[index]
+
+    def render(self) -> str:
+        return "\n".join(t.render() for t in self.transactions()) + ("\n" if self._order else "")
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+_CSB_RE = re.compile(
+    rf"^(\d+)\s+{re.escape(CSB_KEYWORD)}:\s+addr=0x([0-9a-fA-F]+)\s+"
+    rf"data=0x([0-9a-fA-F]+)\s+iswrite=([01])\s*$"
+)
+_DBB_RE = re.compile(
+    rf"^(\d+)\s+{re.escape(DBB_KEYWORD)}:\s+addr=0x([0-9a-fA-F]+)\s+"
+    rf"len=(\d+)\s+iswrite=([01])\s+data=([0-9a-fA-F]*)\s*$"
+)
+
+
+def parse_trace(text: str) -> TraceLog:
+    """Parse a rendered trace; non-matching lines are skipped, like
+    the paper's grep-based scripts skip unrelated VP output."""
+    log = TraceLog()
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if CSB_KEYWORD in line:
+            match = _CSB_RE.match(line)
+            if not match:
+                raise TraceError(f"line {line_no}: malformed csb_adaptor entry")
+            cycle, address, data, iswrite = match.groups()
+            log.log_csb(int(cycle), int(address, 16), int(data, 16), iswrite == "1")
+        elif DBB_KEYWORD in line:
+            match = _DBB_RE.match(line)
+            if not match:
+                raise TraceError(f"line {line_no}: malformed dbb_adaptor entry")
+            cycle, address, length, iswrite, data = match.groups()
+            payload = bytes.fromhex(data)
+            if len(payload) != int(length):
+                raise TraceError(
+                    f"line {line_no}: dbb payload length {len(payload)} != len={length}"
+                )
+            log.dbb.append(
+                DbbTransaction(int(cycle), int(address, 16), payload, iswrite == "1")
+            )
+            log._order.append(("dbb", len(log.dbb) - 1))
+    return log

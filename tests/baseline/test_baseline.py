@@ -1,0 +1,89 @@
+"""Linux-driver baseline: calibration against the published ESP rows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baseline import EspPlatform, LinuxDriverModel, LinuxOverheadParams, run_esp_baseline
+from repro.baseline.esp_platform import ESP_PUBLISHED_MS
+from repro.compiler import compile_network
+from repro.errors import ExperimentError
+from repro.nn.zoo import lenet5
+from repro.nvdla import NV_FULL, NV_SMALL
+
+
+@pytest.fixture(scope="module")
+def lenet_loadable():
+    return compile_network(lenet5(), NV_SMALL)
+
+
+def test_esp_lenet_matches_published_number(lenet_loadable):
+    result = EspPlatform().run(lenet_loadable)
+    assert result.milliseconds == pytest.approx(ESP_PUBLISHED_MS["lenet5"], rel=0.25)
+
+
+def test_small_model_is_software_dominated(lenet_loadable):
+    result = EspPlatform().run(lenet_loadable)
+    assert result.software_fraction > 0.9  # init dwarfs the accelerator
+
+
+def test_breakdown_sums_to_total(lenet_loadable):
+    result = EspPlatform().run(lenet_loadable)
+    parts = (
+        result.init_cycles
+        + result.submit_cycles
+        + result.irq_cycles
+        + result.copy_cycles
+        + result.hw_cycles
+    )
+    assert parts == result.cycles
+
+
+def test_overheads_scale_with_op_count(lenet_loadable, residual_net):
+    residual_loadable = compile_network(residual_net, NV_SMALL)
+    a = EspPlatform().run(lenet_loadable)
+    b = EspPlatform().run(residual_loadable)
+    assert a.ops == lenet_loadable.hw_op_count()
+    assert b.submit_cycles != a.submit_cycles
+
+
+def test_zero_overhead_params_leave_hw_time(lenet_loadable):
+    params = LinuxOverheadParams(
+        runtime_init_cycles=0, submit_cycles_per_op=0, irq_path_cycles_per_op=0
+    )
+    model = LinuxDriverModel(NV_SMALL, frequency_hz=50e6, params=params)
+    result = model.run(lenet_loadable)
+    assert result.cycles == result.hw_cycles + result.copy_cycles
+
+
+def test_frequency_scales_wall_clock(lenet_loadable):
+    slow = LinuxDriverModel(NV_SMALL, frequency_hz=50e6).run(lenet_loadable)
+    fast = LinuxDriverModel(NV_SMALL, frequency_hz=100e6).run(lenet_loadable)
+    assert fast.seconds < slow.seconds
+    assert fast.cycles == slow.cycles
+
+
+def test_config_mismatch_rejected(lenet_loadable):
+    with pytest.raises(ExperimentError):
+        LinuxDriverModel(NV_FULL).run(lenet_loadable)
+
+
+def test_run_esp_baseline_convenience():
+    result = run_esp_baseline(lenet5())
+    assert result.milliseconds > 100  # dominated by the 244 ms init
+
+
+def test_bare_metal_speedup_shape(lenet_loadable):
+    """The paper's headline: bare-metal LeNet-5 is ~55x faster than the
+    ESP/Linux number (4.8 ms vs 263 ms)."""
+    esp_ms = EspPlatform().run(lenet_loadable).milliseconds
+    from repro.baremetal import generate_baremetal
+    from repro.core import Soc
+    from repro.nn.zoo import lenet5 as build
+
+    bundle = generate_baremetal(build(), NV_SMALL, fidelity="timing")
+    soc = Soc(NV_SMALL, fidelity="timing")
+    soc.load_bundle(bundle)
+    ours_ms = soc.run_inference(bundle).milliseconds
+    speedup = esp_ms / ours_ms
+    assert 20 <= speedup <= 120  # paper: ~55x

@@ -1,0 +1,141 @@
+"""Fusion planning: pruning, BN/Scale folding, concat aliasing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiler.fusion import (
+    fold_batchnorm_scale,
+    fused_output_blob,
+    plan_concats,
+    plan_fusion,
+    prune_to_output,
+)
+from repro.nn.graph import Network
+from repro.nn.zoo import googlenet
+
+
+def test_prune_drops_unreachable_layers():
+    net = Network("p")
+    net.add_input("data", (1, 4, 4))
+    keep = net.add_relu("keep", "data")
+    net.add_relu("dead", "data")  # side output, not marked
+    net.mark_output(keep)
+    layers = prune_to_output(net)
+    assert [l.name for l in layers] == ["data", "keep"]
+
+
+def test_prune_drops_googlenet_aux_heads():
+    net = googlenet(include_aux=True)
+    pruned = prune_to_output(net)
+    names = {l.name for l in pruned}
+    assert not any(name.startswith("loss1") or name.startswith("loss2") for name in names)
+    assert "loss3_classifier" in names
+
+
+def test_fusion_absorbs_bn_scale_relu(residual_net):
+    layers = prune_to_output(residual_net)
+    plan = plan_fusion(residual_net, layers)
+    absorbed = [l.name for l in plan.absorbed["conv1"]]
+    assert absorbed == ["bn1", "scale1", "relu1"]
+    assert fused_output_blob(residual_net.layers[1], plan) == "relu1"
+
+
+def test_fusion_stops_at_branch_points(residual_net):
+    """conv2's Scale output feeds the eltwise, so ReLU after eltwise
+    belongs to the eltwise, not the conv."""
+    layers = prune_to_output(residual_net)
+    plan = plan_fusion(residual_net, layers)
+    conv2_absorbed = [l.name for l in plan.absorbed["conv2"]]
+    assert conv2_absorbed == ["bn2", "scale2"]
+    assert [l.name for l in plan.absorbed["add"]] == ["relu2"]
+
+
+def test_fusion_does_not_absorb_multi_consumer_blob():
+    net = Network("branch")
+    net.add_input("data", (1, 4, 4))
+    conv = net.add_conv("conv", "data", num_output=2, kernel_size=1)
+    relu = net.add_relu("relu", conv)
+    a = net.add_conv("a", relu, num_output=2, kernel_size=1)
+    b = net.add_conv("b", relu, num_output=2, kernel_size=1)
+    net.add_eltwise("sum", a, b)
+    plan = plan_fusion(net, prune_to_output(net))
+    # relu fuses into conv (sole consumer of conv's output)...
+    assert [l.name for l in plan.absorbed.get("conv", [])] == ["relu"]
+    # ...but nothing fuses into a/b since 'sum' is an Eltwise, and the
+    # eltwise absorbs nothing (no trailing relu).
+    assert "a" not in plan.absorbed and "b" not in plan.absorbed
+
+
+def test_dropout_elided_with_alias():
+    net = Network("drop")
+    net.add_input("data", (1, 4, 4))
+    relu = net.add_relu("relu", "data")
+    drop = net.add_dropout("drop", relu)
+    net.add_fc("fc", drop, num_output=2)
+    plan = plan_fusion(net, prune_to_output(net))
+    assert "drop" in plan.consumed
+    assert plan.resolve_blob("drop") == "relu"
+
+
+def test_fold_identity_without_absorbed_layers(rng):
+    net = Network("x")
+    weight = rng.normal(size=(4, 2, 3, 3)).astype(np.float32)
+    bias = rng.normal(size=(4,)).astype(np.float32)
+    w, b, relu = fold_batchnorm_scale(net, weight, bias, [])
+    assert np.array_equal(w, weight)
+    assert np.array_equal(b, bias)
+    assert not relu
+
+
+def test_fold_bn_scale_matches_reference(residual_net, rng):
+    """Folded conv must equal conv→BN→Scale→ReLU computed separately."""
+    from repro.nn.reference import ReferenceExecutor
+
+    layers = prune_to_output(residual_net)
+    plan = plan_fusion(residual_net, layers)
+    conv_layer = next(l for l in residual_net.layers if l.name == "conv1")
+    params = residual_net.params["conv1"]
+    w, b, relu = fold_batchnorm_scale(
+        residual_net, params["weight"], params.get("bias"), plan.absorbed["conv1"]
+    )
+    assert relu
+    x = rng.normal(size=(8, 8, 8)).astype(np.float32)
+    executor = ReferenceExecutor(residual_net)
+    executor.run(x, record_blobs=True)
+    expected = executor.blobs["relu1"]
+    # manual conv with folded params
+    from tests.nvdla.test_compute import scipy_conv_float
+
+    xp = np.pad(x, ((0, 0), (1, 1), (1, 1)))
+    folded = scipy_conv_float(xp.astype(np.float16), w.astype(np.float16))
+    folded += b.reshape(-1, 1, 1)
+    folded = np.maximum(folded, 0)
+    assert np.allclose(folded, expected, rtol=2e-2, atol=2e-2)
+
+
+def test_concat_aliases_offsets(branchy_net):
+    layers = prune_to_output(branchy_net)
+    plan = plan_fusion(branchy_net, layers)
+    aliases = plan_concats(branchy_net, layers, plan)
+    assert aliases["left"].parent_blob == "cat"
+    assert aliases["left"].channel_offset == 0
+    assert aliases["right"].channel_offset == 8
+    assert aliases["right"].parent_channels == 24
+
+
+def test_chained_concats_collapse():
+    net = Network("chain")
+    net.add_input("data", (8, 2, 2))
+    a = net.add_relu("a", "data")
+    b = net.add_relu("b", "data")
+    c = net.add_relu("c", "data")
+    inner = net.add_concat("inner", [a, b])
+    net.add_concat("outer", [inner, c])
+    layers = prune_to_output(net)
+    plan = plan_fusion(net, layers)
+    aliases = plan_concats(net, layers, plan)
+    assert aliases["b"].parent_blob == "outer"
+    assert aliases["b"].channel_offset == 8
+    assert aliases["c"].channel_offset == 16

@@ -1,0 +1,110 @@
+"""Shared fixtures: tiny networks, platforms and helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clock import Clock
+from repro.mem import Bram, Dram, SparseMemory
+from repro.nn.graph import Network
+from repro.nn.layers import PoolKind
+from repro.nvdla import NV_FULL, NV_SMALL
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def clock() -> Clock:
+    return Clock(100e6)
+
+
+@pytest.fixture
+def small_memory() -> SparseMemory:
+    return SparseMemory(1 << 24)
+
+
+@pytest.fixture
+def tiny_net() -> Network:
+    """A minimal conv+pool+fc network that runs in milliseconds."""
+    net = Network("tiny", seed=7)
+    data = net.add_input("data", (1, 8, 8))
+    conv = net.add_conv("conv1", data, num_output=8, kernel_size=3)
+    relu = net.add_relu("relu1", conv)
+    pool = net.add_pool("pool1", relu, PoolKind.MAX, kernel_size=2, stride=2)
+    fc = net.add_fc("fc1", pool, num_output=4)
+    net.add_softmax("prob", fc)
+    net.validate()
+    return net
+
+
+@pytest.fixture
+def residual_net() -> Network:
+    """A small network with BN/Scale folding and an eltwise shortcut."""
+    net = Network("residual", seed=11)
+    data = net.add_input("data", (8, 8, 8))
+    conv1 = net.add_conv("conv1", data, num_output=8, kernel_size=3, pad=1, bias=False)
+    bn1 = net.add_batchnorm("bn1", conv1)
+    scale1 = net.add_scale("scale1", bn1)
+    relu1 = net.add_relu("relu1", scale1)
+    conv2 = net.add_conv("conv2", relu1, num_output=8, kernel_size=3, pad=1, bias=False)
+    bn2 = net.add_batchnorm("bn2", conv2)
+    scale2 = net.add_scale("scale2", bn2)
+    added = net.add_eltwise("add", scale2, data)
+    relu2 = net.add_relu("relu2", added)
+    net.add_fc("fc", relu2, num_output=4)
+    net.validate()
+    return net
+
+
+@pytest.fixture
+def branchy_net() -> Network:
+    """Concat of two branches (exercises zero-copy concat aliasing)."""
+    net = Network("branchy", seed=13)
+    data = net.add_input("data", (8, 6, 6))
+    left = net.add_conv("left", data, num_output=8, kernel_size=1)
+    right = net.add_conv("right", data, num_output=16, kernel_size=3, pad=1)
+    cat = net.add_concat("cat", [left, right])
+    net.add_conv("tail", cat, num_output=8, kernel_size=1)
+    net.validate()
+    return net
+
+
+@pytest.fixture(params=["nv_small", "nv_full"])
+def any_config(request):
+    return NV_SMALL if request.param == "nv_small" else NV_FULL
+
+
+class DirectDbbPort:
+    """Test double: an NVDLA memory port over a SparseMemory."""
+
+    def __init__(self, memory: SparseMemory, bytes_per_cycle: int = 4) -> None:
+        self.memory = memory
+        self.bytes_per_cycle = bytes_per_cycle
+
+    def read(self, address: int, nbytes: int) -> bytes:
+        return self.memory.read(address, nbytes)
+
+    def write(self, address: int, data: bytes) -> None:
+        self.memory.write(address, data)
+
+    def stream_cycles(self, address: int, nbytes: int) -> int:
+        return max(1, nbytes // self.bytes_per_cycle)
+
+
+@pytest.fixture
+def dbb_port(small_memory) -> DirectDbbPort:
+    return DirectDbbPort(small_memory)
+
+
+@pytest.fixture
+def dram() -> Dram:
+    return Dram(size=1 << 22)
+
+
+@pytest.fixture
+def bram() -> Bram:
+    return Bram(size=1 << 16)

@@ -1,0 +1,128 @@
+"""FPGA resource model: Table I reproduction and nv_full infeasibility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OverUtilizationError
+from repro.fpga import (
+    ResourceVector,
+    ZCU102,
+    build_table1_report,
+    estimate_nvdla,
+    estimate_soc,
+    estimate_system,
+    synthesize,
+)
+from repro.fpga.devices import DEVICES, VCU118
+from repro.fpga.resources import MIG_DDR4, NVDLA_SMALL, PROGRAM_MEMORY, URISCV_CORE
+from repro.nvdla import NV_FULL, NV_SMALL
+
+# The paper's Table I rows (CLB LUTs, Regs, CARRY8, F7, F8, CLB, BRAM, DSP).
+PAPER_TABLE1 = {
+    "Overall System Set-up": (96733, 102823, 1825, 3719, 1133, 19898, 323.5, 39),
+    "MIG DDR4": (8651, 10260, 56, 164, 0, 1754, 25.5, 3),
+    "AXI SmartConnect": (5546, 7860, 0, 0, 0, 1137, 0, 0),
+    "Our SoC": (81986, 83659, 1762, 3555, 1133, 17025, 298, 36),
+    "nv_small NVDLA": (74575, 79567, 1569, 3091, 1048, 15734, 66, 32),
+    "uRISC_V core": (6346, 2767, 173, 419, 67, 1297, 0, 4),
+    "Program Memory": (241, 6, 0, 45, 18, 148, 232, 0),
+}
+
+_KEYS = ("luts", "regs", "carry8", "f7_muxes", "f8_muxes", "clbs", "bram_tiles", "dsps")
+
+
+def _close(measured: ResourceVector, paper: tuple, tolerance: float = 0.02) -> bool:
+    for key, expected in zip(_KEYS, paper):
+        got = measured.as_dict()[key]
+        if expected == 0:
+            if got != 0:
+                return False
+        elif abs(got - expected) / expected > tolerance:
+            return False
+    return True
+
+
+def test_nvdla_small_is_calibration_exact():
+    assert estimate_nvdla(NV_SMALL) == NVDLA_SMALL.rounded()
+
+
+@pytest.mark.parametrize("row,paper", list(PAPER_TABLE1.items()))
+def test_table1_rows_reproduce(row, paper):
+    report = build_table1_report(NV_SMALL)
+    assert _close(report.rows[row], paper, tolerance=0.02), (
+        row,
+        report.rows[row].as_dict(),
+        paper,
+    )
+
+
+def test_device_capacities_match_table_header():
+    cap = ZCU102.capacity
+    assert cap.luts == 274080
+    assert cap.regs == 548160
+    assert cap.bram_tiles == 912
+    assert cap.dsps == 2520
+
+
+def test_nv_small_system_fits_zcu102():
+    result = synthesize(NV_SMALL, ZCU102)
+    assert result.fits
+    assert result.utilization["luts"] < 0.5
+
+
+def test_nv_full_overutilises_zcu102_luts():
+    """The paper: 'the LUTs overutilization was quite substantial'."""
+    result = synthesize(NV_FULL, ZCU102)
+    assert not result.fits
+    assert result.utilization["luts"] > 2.0
+    assert any("luts" in violation for violation in result.violations)
+
+
+def test_nv_full_strict_raises():
+    with pytest.raises(OverUtilizationError) as excinfo:
+        synthesize(NV_FULL, ZCU102, strict=True)
+    assert excinfo.value.used > excinfo.value.available
+
+
+def test_nv_full_fits_a_vu9p_for_luts_or_not():
+    """Even the big VCU118 struggles with nv_full's 2048-MAC array —
+    consistent with nv_full being an ASIC-scale configuration."""
+    result = synthesize(NV_FULL, VCU118)
+    assert result.utilization["luts"] > 1.0
+
+
+def test_resource_vector_arithmetic():
+    a = ResourceVector(luts=10, dsps=1)
+    b = ResourceVector(luts=5, bram_tiles=2.5)
+    total = a + b
+    assert total.luts == 15 and total.dsps == 1 and total.bram_tiles == 2.5
+    assert a.scaled(2).luts == 20
+
+
+def test_component_sums_are_consistent():
+    soc = estimate_soc(NV_SMALL)
+    parts = estimate_nvdla(NV_SMALL) + URISCV_CORE + PROGRAM_MEMORY
+    assert soc.luts >= parts.luts  # glue logic on top
+    system = estimate_system(NV_SMALL)
+    assert system.luts >= soc.luts + MIG_DDR4.luts
+
+
+def test_report_renders_all_rows():
+    text = build_table1_report(NV_SMALL).render()
+    for row in PAPER_TABLE1:
+        assert row.split()[0] in text
+    assert "274080" in text  # capacity header
+
+
+def test_devices_registry():
+    assert set(DEVICES) == {"ZCU102", "ZCU104", "VCU118"}
+    assert DEVICES["ZCU102"] is ZCU102
+
+
+def test_headroom_handles_zero_capacity():
+    tiny = ResourceVector(luts=1)
+    from repro.fpga.devices import Device
+
+    device = Device("null", "x", ResourceVector())
+    assert device.headroom(tiny)["luts"] == float("inf")

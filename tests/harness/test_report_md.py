@@ -1,0 +1,37 @@
+"""Markdown report generator."""
+
+from __future__ import annotations
+
+from repro.harness.report_md import generate_report
+
+
+def test_report_contains_all_sections():
+    text = generate_report(
+        include_figures=True,
+        table2_models=("lenet5",),
+        table3_models=("lenet5",),
+    )
+    for section in (
+        "# Generated experiment report",
+        "## Table I",
+        "## Table II",
+        "## Table III",
+        "### A1",
+        "### A2",
+        "### A3",
+        "### Fig. 1",
+        "### Fig. 2",
+    ):
+        assert section in text
+    assert "nv_full feasibility: over-utilised" in text
+    assert "| lenet5 |" in text
+
+
+def test_report_cli(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "r.md"
+    # Full tables through the CLI default (three shared models).
+    assert main(["report", "--out", str(out)]) == 0
+    text = out.read_text()
+    assert "## Table II" in text and "resnet50" in text

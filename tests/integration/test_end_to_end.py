@@ -1,0 +1,150 @@
+"""End-to-end integration: model → flow → SoC, against the reference.
+
+These are the tests that justify the reproduction: the *same tensors*
+flow through the float reference, the VP functional model, and the
+bare-metal SoC execution, and all three must agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baremetal import generate_baremetal
+from repro.compiler import CompileOptions
+from repro.core import Soc, TestSystem
+from repro.nn import ReferenceExecutor
+from repro.nn.zoo import lenet5, resnet18_cifar
+from repro.nvdla import NV_FULL, NV_SMALL
+from repro.nvdla.config import Precision
+
+
+def _reference_blob(net, image, blob):
+    executor = ReferenceExecutor(net)
+    executor.run(image, record_blobs=True)
+    return executor.blobs[blob]
+
+
+@pytest.fixture(scope="module")
+def lenet_flow():
+    net = lenet5()
+    rng = np.random.default_rng(2024)
+    image = rng.uniform(-1, 1, net.input_shape).astype(np.float32)
+    bundle = generate_baremetal(net, NV_SMALL, input_image=image)
+    return net, image, bundle
+
+
+def test_lenet_vp_vs_reference(lenet_flow):
+    net, image, bundle = lenet_flow
+    expected = _reference_blob(net, image, "ip2")
+    got = bundle.vp_result.output
+    scale = np.abs(expected).max()
+    assert np.abs(got - expected).max() < 0.08 * scale + 1e-3
+
+
+def test_lenet_soc_vs_vp_bit_exact(lenet_flow):
+    _, _, bundle = lenet_flow
+    soc = Soc(NV_SMALL)
+    soc.load_bundle(bundle)
+    result = soc.run_inference(bundle)
+    assert result.ok
+    assert np.array_equal(result.output, bundle.vp_result.output)
+
+
+def test_lenet_full_testsystem_matches(lenet_flow):
+    _, _, bundle = lenet_flow
+    system = TestSystem(Soc(NV_SMALL))
+    result = system.run_experiment(bundle)
+    assert result.ok
+    assert np.array_equal(result.output, bundle.vp_result.output)
+
+
+def test_lenet_latency_in_paper_regime(lenet_flow):
+    """Table II row: 4.8 ms at 100 MHz; we accept the same order."""
+    _, _, bundle = lenet_flow
+    soc = Soc(NV_SMALL, frequency_hz=100e6)
+    soc.load_bundle(bundle)
+    result = soc.run_inference(bundle)
+    assert 1.0 <= result.milliseconds <= 15.0
+
+
+def test_resnet18_functional_flow():
+    """The residual network end to end on the SoC (INT8)."""
+    net = resnet18_cifar()
+    rng = np.random.default_rng(7)
+    image = rng.uniform(-1, 1, net.input_shape).astype(np.float32)
+    bundle = generate_baremetal(net, NV_SMALL, input_image=image)
+    soc = Soc(NV_SMALL)
+    soc.load_bundle(bundle)
+    result = soc.run_inference(bundle)
+    assert result.ok
+    assert np.array_equal(result.output, bundle.vp_result.output)
+    expected = _reference_blob(net, image, "fc")
+    # Deep INT8 chains accumulate quantisation error; correlation must
+    # stay high even when absolute values drift.
+    correlation = np.corrcoef(result.output.flatten(), expected.flatten())[0, 1]
+    assert correlation > 0.8
+
+
+def test_tiny_net_fp16_on_nv_full(tiny_net):
+    rng = np.random.default_rng(5)
+    image = rng.uniform(-1, 1, tiny_net.input_shape).astype(np.float32)
+    bundle = generate_baremetal(
+        tiny_net,
+        NV_FULL,
+        precision=Precision.FP16,
+        input_image=image,
+        compile_options=CompileOptions(precision=Precision.FP16),
+    )
+    soc = Soc(NV_FULL)
+    soc.load_bundle(bundle)
+    result = soc.run_inference(bundle)
+    assert result.ok
+    expected = _reference_blob(tiny_net, image, "fc1")
+    assert np.allclose(result.output, expected, rtol=0.05, atol=0.05)
+    assert int(np.argmax(result.output)) == int(np.argmax(expected))
+
+
+def test_branchy_concat_network_end_to_end(branchy_net):
+    """Zero-copy concat must produce the right numbers on silicon-path."""
+    rng = np.random.default_rng(3)
+    image = rng.uniform(-1, 1, branchy_net.input_shape).astype(np.float32)
+    bundle = generate_baremetal(branchy_net, NV_SMALL, input_image=image)
+    soc = Soc(NV_SMALL)
+    soc.load_bundle(bundle)
+    result = soc.run_inference(bundle)
+    assert result.ok
+    expected = _reference_blob(branchy_net, image, "tail")
+    scale = np.abs(expected).max()
+    assert np.abs(result.output - expected).max() < 0.1 * scale + 1e-3
+
+
+def test_residual_eltwise_network_end_to_end(residual_net):
+    rng = np.random.default_rng(4)
+    image = rng.uniform(-1, 1, residual_net.input_shape).astype(np.float32)
+    bundle = generate_baremetal(residual_net, NV_SMALL, input_image=image)
+    soc = Soc(NV_SMALL)
+    soc.load_bundle(bundle)
+    result = soc.run_inference(bundle)
+    assert result.ok
+    expected = _reference_blob(residual_net, image, "fc")
+    correlation = np.corrcoef(result.output.flatten(), expected.flatten())[0, 1]
+    assert correlation > 0.9
+
+
+def test_trace_config_program_sizes_consistent(lenet_flow):
+    """Fig. 1 artefact chain: every stage's size follows the last."""
+    _, _, bundle = lenet_flow
+    assert len(bundle.commands) == len(bundle.trace.csb)
+    writes = sum(1 for c in bundle.commands if c.kind == "write_reg")
+    reads = len(bundle.commands) - writes
+    # Program: >=3 words per write (li+sw), >=5 per read poll.
+    assert len(bundle.program.words) >= writes * 2 + reads * 5
+
+
+def test_config_file_replays_identically(lenet_flow):
+    """Parsing the rendered config file must regenerate the commands."""
+    from repro.baremetal import parse_config_file
+
+    _, _, bundle = lenet_flow
+    assert parse_config_file(bundle.config_file_text) == bundle.commands

@@ -1,0 +1,127 @@
+"""Cross-cutting invariants checked over every zoo compilation.
+
+These re-derive properties independently from the implementation (the
+test computes its own liveness) so allocator or packer regressions
+cannot hide behind their own bookkeeping.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_network
+from repro.compiler.ops import ConvOp, CpuSoftmaxOp
+from repro.nn.zoo import ZOO
+from repro.nvdla import NV_FULL, NV_SMALL
+from repro.nvdla.config import Precision
+
+_CASES = [
+    ("lenet5", NV_SMALL, Precision.INT8),
+    ("resnet18", NV_SMALL, Precision.INT8),
+    ("mobilenet", NV_SMALL, Precision.INT8),
+    ("googlenet", NV_FULL, Precision.FP16),
+    ("alexnet", NV_FULL, Precision.FP16),
+]
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    cache = {}
+    for name, config, precision in _CASES:
+        cache[(name, config.name)] = (
+            compile_network(ZOO[name](), config, CompileOptions(precision=precision)),
+            config,
+        )
+    return cache
+
+
+def _blob_extents(loadable, config):
+    """Blob -> (address, size) from the refs the ops actually use."""
+    extents = {}
+    atom = {p: config.atom_channels(p) for p in Precision}
+    refs = [loadable.input_tensor, loadable.output_tensor]
+    for op in loadable.schedule.ops:
+        refs.extend(op.inputs())
+        refs.extend(op.outputs())
+    for ref in refs:
+        base = ref.require_address() - ref.view_offset_bytes(atom[ref.precision])
+        size = ref.blob_packed_bytes(atom[ref.precision])
+        prev = extents.get(ref.blob)
+        if prev is not None:
+            assert prev == (base, size), f"blob {ref.blob} has inconsistent extents"
+        extents[ref.blob] = (base, size)
+    return extents
+
+
+@pytest.mark.parametrize("name,config,precision", _CASES)
+def test_live_buffers_never_overlap(compiled, name, config, precision):
+    """Independent liveness recomputation: at every op index, the
+    address ranges of all live blobs must be pairwise disjoint."""
+    loadable, config = compiled[(name, config.name)]
+    ops = [op for op in loadable.schedule.ops]
+    extents = _blob_extents(loadable, config)
+
+    first_def: dict[str, int] = {loadable.input_tensor.blob: -1}
+    last_use: dict[str, int] = {loadable.output_tensor.blob: len(ops) + 1}
+    for index, op in enumerate(ops):
+        for ref in op.outputs():
+            first_def.setdefault(ref.blob, index)
+        for ref in list(op.inputs()) + list(op.outputs()):
+            last_use[ref.blob] = max(last_use.get(ref.blob, index), index)
+
+    for index in range(len(ops)):
+        live = [
+            extents[blob]
+            for blob in extents
+            if first_def.get(blob, -1) <= index <= last_use.get(blob, -1)
+        ]
+        live.sort()
+        for (a_base, a_size), (b_base, _) in zip(live, live[1:]):
+            assert a_base + a_size <= b_base, (
+                f"{name}: live buffers overlap at op {index}"
+            )
+
+
+@pytest.mark.parametrize("name,config,precision", _CASES)
+def test_all_addresses_inside_dram_window(compiled, name, config, precision):
+    loadable, config = compiled[(name, config.name)]
+    lo = loadable.memory_map.base
+    hi = lo + 512 * 1024 * 1024
+    for blob, (base, size) in _blob_extents(loadable, config).items():
+        assert lo <= base and base + size <= hi, blob
+
+
+@pytest.mark.parametrize("name,config,precision", _CASES)
+def test_weight_offsets_inside_blob(compiled, name, config, precision):
+    loadable, config = compiled[(name, config.name)]
+    blob_len = len(loadable.weight_blob)
+    for op in loadable.schedule.ops:
+        if isinstance(op, ConvOp):
+            assert op.weight_offset is not None
+            assert op.weight_offset + op.weight_bytes <= blob_len
+            if op.bias_offset is not None:
+                assert op.bias_offset < blob_len
+
+
+@pytest.mark.parametrize("name,config,precision", _CASES)
+def test_tensors_do_not_cross_into_weight_region(compiled, name, config, precision):
+    loadable, config = compiled[(name, config.name)]
+    weights = loadable.memory_map.weights
+    for blob, (base, size) in _blob_extents(loadable, config).items():
+        overlap = not (base + size <= weights.address or base >= weights.end)
+        assert not overlap, f"{name}: blob {blob} overlaps the weight region"
+
+
+@pytest.mark.parametrize("name,config,precision", _CASES)
+def test_every_hw_op_input_was_produced_or_preloaded(compiled, name, config, precision):
+    """Dataflow sanity: an op may only read the input image, weights,
+    or a blob some earlier op wrote."""
+    loadable, config = compiled[(name, config.name)]
+    produced = {loadable.input_tensor.blob}
+    for op in loadable.schedule.ops:
+        if isinstance(op, CpuSoftmaxOp):
+            continue
+        for ref in op.inputs():
+            assert ref.blob in produced, f"{name}: {op.name} reads unwritten {ref.blob}"
+        for ref in op.outputs():
+            produced.add(ref.blob)

@@ -1,0 +1,105 @@
+"""Prototxt and caffemodel round trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.nn.caffe_proto import from_prototxt, load_caffemodel, save_caffemodel, to_prototxt
+from repro.nn.zoo import ZOO
+
+
+def _same_structure(a, b) -> bool:
+    if len(a.layers) != len(b.layers):
+        return False
+    for la, lb in zip(a.layers, b.layers):
+        if (la.name, type(la), la.bottoms, la.tops) != (lb.name, type(lb), lb.bottoms, lb.tops):
+            return False
+    return a.blob_shapes == b.blob_shapes
+
+
+def test_roundtrip_tiny(tiny_net):
+    text = to_prototxt(tiny_net)
+    back = from_prototxt(text)
+    assert _same_structure(tiny_net, back)
+
+
+def test_roundtrip_residual(residual_net):
+    back = from_prototxt(to_prototxt(residual_net))
+    assert _same_structure(residual_net, back)
+
+
+def test_roundtrip_branchy(branchy_net):
+    back = from_prototxt(to_prototxt(branchy_net))
+    assert _same_structure(branchy_net, back)
+
+
+@pytest.mark.parametrize("name", ["lenet5", "resnet18", "alexnet"])
+def test_roundtrip_zoo_network(name):
+    net = ZOO[name]()
+    if net.declared_output:
+        text = to_prototxt(net)
+        back = from_prototxt(text)
+        back.mark_output(net.declared_output)
+    else:
+        back = from_prototxt(to_prototxt(net))
+    assert _same_structure(net, back)
+    assert back.parameter_count() == net.parameter_count()
+
+
+def test_prototxt_has_caffe_vocabulary(tiny_net):
+    text = to_prototxt(tiny_net)
+    assert 'type: "Convolution"' in text
+    assert "num_output: 8" in text
+    assert "pooling_param" in text
+    assert 'name: "tiny"' in text
+
+
+def test_parse_handles_explicit_batch_dim():
+    text = """
+    name: "t"
+    layer { name: "data" type: "Input" top: "data"
+            input_param { shape { dim: 1 dim: 3 dim: 8 dim: 8 } } }
+    layer { name: "r" type: "ReLU" bottom: "data" top: "r" }
+    """
+    net = from_prototxt(text)
+    assert net.input_shape == (3, 8, 8)
+
+
+def test_parse_rejects_unknown_type():
+    text = """
+    layer { name: "x" type: "Warp" top: "x" }
+    """
+    with pytest.raises(GraphError):
+        from_prototxt(text)
+
+
+def test_parse_rejects_unbalanced_braces():
+    with pytest.raises(GraphError):
+        from_prototxt('layer { name: "x" type: "Input" top: "x" ')
+
+
+def test_caffemodel_roundtrip(tmp_path, tiny_net):
+    path = str(tmp_path / "weights.npz")
+    save_caffemodel(tiny_net, path)
+    clone = from_prototxt(to_prototxt(tiny_net))
+    # freshly parsed networks have different random weights
+    assert not np.array_equal(
+        clone.params["conv1"]["weight"], tiny_net.params["conv1"]["weight"]
+    )
+    load_caffemodel(clone, path)
+    assert np.array_equal(
+        clone.params["conv1"]["weight"], tiny_net.params["conv1"]["weight"]
+    )
+    assert np.array_equal(clone.params["fc1"]["bias"], tiny_net.params["fc1"]["bias"])
+
+
+def test_caffemodel_shape_mismatch_rejected(tmp_path, tiny_net):
+    path = str(tmp_path / "weights.npz")
+    save_caffemodel(tiny_net, path)
+    other = from_prototxt(
+        to_prototxt(tiny_net).replace("num_output: 8", "num_output: 16")
+    )
+    with pytest.raises(GraphError):
+        load_caffemodel(other, path)

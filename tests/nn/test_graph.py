@@ -1,0 +1,153 @@
+"""Network graph IR: shape inference, validation, builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.nn.graph import Network
+from repro.nn.layers import Convolution, EltwiseKind, Input, PoolKind
+
+
+def test_shape_inference_chain(tiny_net):
+    assert tiny_net.blob_shapes["conv1"] == (8, 6, 6)
+    assert tiny_net.blob_shapes["pool1"] == (8, 3, 3)
+    assert tiny_net.blob_shapes["fc1"] == (4, 1, 1)
+
+
+def test_parameter_initialisation_is_deterministic():
+    a = Network("same", seed=5)
+    a.add_input("data", (1, 4, 4))
+    a.add_conv("conv", "data", num_output=2, kernel_size=3)
+    b = Network("same", seed=5)
+    b.add_input("data", (1, 4, 4))
+    b.add_conv("conv", "data", num_output=2, kernel_size=3)
+    assert np.array_equal(a.params["conv"]["weight"], b.params["conv"]["weight"])
+
+
+def test_seed_defaults_from_name():
+    a = Network("alpha")
+    b = Network("alpha")
+    a.add_input("d", (1, 2, 2))
+    b.add_input("d", (1, 2, 2))
+    a.add_conv("c", "d", num_output=1, kernel_size=1)
+    b.add_conv("c", "d", num_output=1, kernel_size=1)
+    assert np.array_equal(a.params["c"]["weight"], b.params["c"]["weight"])
+
+
+def test_duplicate_layer_name_rejected():
+    net = Network("n")
+    net.add_input("data", (1, 2, 2))
+    net.add_relu("x", "data")
+    with pytest.raises(GraphError):
+        net.add_relu("x", "data")
+
+
+def test_unknown_bottom_rejected():
+    net = Network("n")
+    with pytest.raises(GraphError):
+        net.add_relu("r", "ghost")
+
+
+def test_duplicate_top_rejected():
+    net = Network("n")
+    net.add_input("data", (1, 2, 2))
+    net.add_relu("a", "data")
+    with pytest.raises(GraphError):
+        net.add(Convolution(name="b", bottoms=("data",), tops=("a",), num_output=1, kernel_size=1))
+
+
+def test_conv_geometry_validation():
+    net = Network("n")
+    net.add_input("data", (4, 8, 8))
+    with pytest.raises(GraphError):
+        net.add_conv("c", "data", num_output=8, kernel_size=9)  # too big
+    with pytest.raises(GraphError):
+        net.add_conv("g", "data", num_output=6, kernel_size=1, group=4)  # 6 % 4
+
+
+def test_eltwise_shape_check():
+    net = Network("n")
+    net.add_input("data", (2, 4, 4))
+    a = net.add_conv("a", "data", num_output=2, kernel_size=1)
+    b = net.add_conv("b", "data", num_output=2, kernel_size=3, pad=1)
+    net.add_eltwise("ok", a, b, EltwiseKind.SUM)
+    c = net.add_conv("c", "data", num_output=4, kernel_size=1)
+    with pytest.raises(GraphError):
+        net.add_eltwise("bad", a, c)
+
+
+def test_concat_requires_matching_spatial():
+    net = Network("n")
+    net.add_input("data", (2, 4, 4))
+    a = net.add_conv("a", "data", num_output=2, kernel_size=1)
+    b = net.add_conv("b", "data", num_output=3, kernel_size=3)  # 2x2 spatial
+    with pytest.raises(GraphError):
+        net.add_concat("cat", [a, b])
+
+
+def test_pool_ceil_mode_shape():
+    net = Network("n")
+    net.add_input("data", (1, 7, 7))
+    net.add_pool("p", "data", PoolKind.MAX, kernel_size=3, stride=2)
+    assert net.blob_shapes["p"] == (1, 3, 3)  # ceil((7-3)/2)+1 = 3
+    net2 = Network("n2")
+    net2.add_input("data", (1, 112, 112))
+    net2.add_pool("p", "data", PoolKind.MAX, kernel_size=3, stride=2)
+    assert net2.blob_shapes["p"] == (1, 56, 56)  # the ResNet stem case
+
+
+def test_global_pooling_shape():
+    net = Network("n")
+    net.add_input("data", (16, 9, 11))
+    net.add_pool("gap", "data", PoolKind.AVE, global_pooling=True)
+    assert net.blob_shapes["gap"] == (16, 1, 1)
+
+
+def test_output_blob_unique(tiny_net):
+    assert tiny_net.output_blob == "prob"
+
+
+def test_output_blob_ambiguous_without_declaration():
+    net = Network("n")
+    net.add_input("data", (1, 2, 2))
+    net.add_relu("a", "data")
+    net.add_relu("b", "data")
+    with pytest.raises(GraphError):
+        _ = net.output_blob
+    net.mark_output("a")
+    assert net.output_blob == "a"
+
+
+def test_mark_output_unknown_blob():
+    net = Network("n")
+    net.add_input("data", (1, 2, 2))
+    with pytest.raises(GraphError):
+        net.mark_output("ghost")
+
+
+def test_parameter_and_size_accounting():
+    net = Network("n")
+    net.add_input("data", (1, 4, 4))
+    net.add_conv("c", "data", num_output=2, kernel_size=3)  # 2*1*9 + 2 = 20
+    assert net.parameter_count() == 20
+    assert net.model_size_bytes() == 80
+
+
+def test_layer_count_excludes_input(tiny_net):
+    assert tiny_net.layer_count() == 5
+
+
+def test_summary_mentions_layers(tiny_net):
+    text = tiny_net.summary()
+    assert "conv1" in text and "Softmax" in text
+
+
+def test_consumers(tiny_net):
+    assert [l.name for l in tiny_net.consumers("conv1")] == ["relu1"]
+
+
+def test_input_layer_lookup(tiny_net):
+    assert isinstance(tiny_net.input_layer, Input)
+    assert tiny_net.input_shape == (1, 8, 8)

@@ -1,0 +1,77 @@
+"""Model zoo: the paper's size/layer-count columns must reproduce."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nn.zoo import ZOO, googlenet, lenet5, resnet18_cifar, resnet50
+
+
+@pytest.mark.parametrize("name", list(ZOO))
+def test_zoo_networks_validate(name):
+    net = ZOO[name]()
+    net.validate()
+    assert net.output_blob == "prob"
+
+
+def test_lenet5_matches_paper_row():
+    net = lenet5()
+    assert net.input_shape == (1, 28, 28)
+    assert abs(net.model_size_bytes() / 1e6 - 1.7) < 0.1  # paper: 1.7 MB
+    assert net.layer_count() + 1 == 9  # paper counts the data layer
+
+
+def test_resnet18_matches_paper_row():
+    net = resnet18_cifar()
+    assert net.input_shape == (3, 32, 32)
+    # paper: 86 layers, 0.8 MB model file (INT8 deploy size)
+    assert abs((net.layer_count() + 1) - 86) <= 5
+    assert abs(net.parameter_count() / 1e6 - 0.75) < 0.15
+
+
+def test_resnet50_matches_paper_row():
+    net = resnet50()
+    assert net.input_shape == (3, 224, 224)
+    assert abs(net.model_size_bytes() / 1e6 - 102.5) < 1.0  # paper: 102.5 MB
+    assert abs((net.layer_count() + 1) - 228) <= 3
+
+
+def test_mobilenet_matches_paper_row():
+    net = ZOO["mobilenet"]()
+    assert abs(net.model_size_bytes() / 1e6 - 17.0) < 0.5  # paper: 17 MB
+    depthwise = [
+        l for l in net.layers if getattr(l, "group", 1) > 1
+    ]
+    assert len(depthwise) == 13  # the 13 separable blocks
+
+
+def test_googlenet_matches_paper_row_with_aux():
+    net = googlenet(include_aux=True)
+    assert abs(net.model_size_bytes() / 1e6 - 53.5) < 1.0  # paper: 53.5 MB
+    slim = googlenet(include_aux=False)
+    assert slim.model_size_bytes() < net.model_size_bytes()
+    assert slim.output_blob == "prob"
+
+
+def test_alexnet_matches_paper_row():
+    net = ZOO["alexnet"]()
+    assert net.input_shape == (3, 227, 227)
+    assert abs(net.model_size_bytes() / 1e6 - 243.9) < 1.0  # paper: 243.9 MB
+    grouped = [l for l in net.layers if getattr(l, "group", 1) == 2]
+    assert len(grouped) == 3  # conv2, conv4, conv5
+
+
+def test_resnet18_width_parameter():
+    thin = resnet18_cifar(base_width=8)
+    default = resnet18_cifar()
+    assert default.parameter_count() > thin.parameter_count()
+
+
+def test_zoo_networks_have_unique_seeded_weights():
+    a = lenet5()
+    b = lenet5()
+    import numpy as np
+
+    assert np.array_equal(a.params["conv1"]["weight"], b.params["conv1"]["weight"])
+    c = lenet5(seed=99)
+    assert not np.array_equal(a.params["conv1"]["weight"], c.params["conv1"]["weight"])

@@ -1,0 +1,216 @@
+"""Functional kernels vs independent references (scipy / naive loops)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.signal import correlate2d
+
+from repro.errors import ConfigurationError
+from repro.nvdla.compute import (
+    apply_batchnorm,
+    apply_bias,
+    apply_eltwise,
+    apply_relu,
+    conv2d_direct,
+    convert_fp16,
+    lrn,
+    pool2d,
+    requantize_int8,
+)
+from repro.nvdla.descriptors import EltwiseOp, PoolMode
+
+
+def scipy_conv(x, w, stride, pad):
+    """Independent reference via scipy cross-correlation."""
+    pad_t, pad_b, pad_l, pad_r = pad
+    xp = np.pad(x.astype(np.int64), ((0, 0), (pad_t, pad_b), (pad_l, pad_r)))
+    k = w.shape[0]
+    out_full = [
+        sum(
+            correlate2d(xp[c], w[kk, c].astype(np.int64), mode="valid")
+            for c in range(x.shape[0])
+        )
+        for kk in range(k)
+    ]
+    sy, sx = stride
+    return np.stack(out_full)[:, ::sy, ::sx]
+
+
+@pytest.mark.parametrize("stride", [(1, 1), (2, 2), (1, 2)])
+@pytest.mark.parametrize("pad", [(0, 0, 0, 0), (1, 1, 1, 1), (2, 0, 1, 0)])
+def test_conv_matches_scipy(rng, stride, pad):
+    x = rng.integers(-20, 20, size=(3, 9, 9), dtype=np.int8)
+    w = rng.integers(-5, 5, size=(4, 3, 3, 3), dtype=np.int8)
+    ours = conv2d_direct(x, w, stride=stride, pad=pad)
+    ref = scipy_conv(x, w, stride, pad)
+    assert np.array_equal(ours, ref)
+
+
+def test_conv_1x1_is_channel_mix(rng):
+    x = rng.integers(-10, 10, size=(5, 4, 4), dtype=np.int8)
+    w = rng.integers(-3, 3, size=(2, 5, 1, 1), dtype=np.int8)
+    ours = conv2d_direct(x, w, (1, 1), (0, 0, 0, 0))
+    ref = np.einsum("kc,chw->khw", w[:, :, 0, 0].astype(np.int64), x.astype(np.int64))
+    assert np.array_equal(ours, ref)
+
+
+def test_conv_fp16_accumulates_in_float32(rng):
+    x = rng.normal(size=(2, 5, 5)).astype(np.float16)
+    w = rng.normal(size=(3, 2, 3, 3)).astype(np.float16)
+    out = conv2d_direct(x, w, (1, 1), (0, 0, 0, 0))
+    assert out.dtype == np.float32
+    ref = scipy_conv_float(x, w)
+    assert np.allclose(out, ref, rtol=1e-3)
+
+
+def scipy_conv_float(x, w):
+    k = w.shape[0]
+    return np.stack(
+        [
+            sum(
+                correlate2d(x[c].astype(np.float64), w[kk, c].astype(np.float64), mode="valid")
+                for c in range(x.shape[0])
+            )
+            for kk in range(k)
+        ]
+    ).astype(np.float32)
+
+
+def test_conv_channel_mismatch_rejected(rng):
+    with pytest.raises(ConfigurationError):
+        conv2d_direct(
+            np.zeros((3, 5, 5), np.int8), np.zeros((2, 4, 3, 3), np.int8), (1, 1), (0, 0, 0, 0)
+        )
+
+
+def test_conv_empty_output_rejected():
+    with pytest.raises(ConfigurationError):
+        conv2d_direct(
+            np.zeros((1, 2, 2), np.int8), np.zeros((1, 1, 5, 5), np.int8), (1, 1), (0, 0, 0, 0)
+        )
+
+
+def test_bias_and_batchnorm(rng):
+    acc = rng.integers(-100, 100, size=(4, 3, 3)).astype(np.int64)
+    bias = np.array([1, -2, 3, -4], dtype=np.int64)
+    assert np.array_equal(apply_bias(acc, bias)[1], acc[1] - 2)
+    mult = np.array([2.0, 0.5, 1.0, 3.0])
+    scaled = apply_batchnorm(acc.astype(np.float64), mult)
+    assert np.allclose(scaled[0], acc[0] * 2.0)
+    with pytest.raises(ConfigurationError):
+        apply_bias(acc, np.zeros(3))
+
+
+@pytest.mark.parametrize(
+    "op,fn",
+    [
+        (EltwiseOp.ADD, np.add),
+        (EltwiseOp.MUL, np.multiply),
+        (EltwiseOp.MAX, np.maximum),
+    ],
+)
+def test_eltwise_ops(rng, op, fn):
+    a = rng.integers(-50, 50, size=(2, 4, 4)).astype(np.int64)
+    b = rng.integers(-50, 50, size=(2, 4, 4)).astype(np.int64)
+    assert np.array_equal(apply_eltwise(a, op, b), fn(a, b))
+
+
+def test_eltwise_none_passthrough(rng):
+    a = rng.integers(-5, 5, size=(1, 2, 2)).astype(np.int64)
+    assert apply_eltwise(a, EltwiseOp.NONE, None) is a
+
+
+def test_relu(rng):
+    acc = np.array([[-3, 0, 5]], dtype=np.int64).reshape(1, 1, 3)
+    assert np.array_equal(apply_relu(acc, True).flatten(), [0, 0, 5])
+    assert np.array_equal(apply_relu(acc, False), acc)
+
+
+def test_requantize_rounds_and_saturates():
+    acc = np.array([1000, -1000, 5, -5, 127, 129], dtype=np.int64).reshape(1, 2, 3)
+    out = requantize_int8(acc, multiplier=1, shift=0)
+    assert out.dtype == np.int8
+    assert list(out.flatten()) == [127, -128, 5, -5, 127, 127]
+    halves = requantize_int8(np.array([[[3]]], dtype=np.int64), multiplier=1, shift=1)
+    assert halves.flatten()[0] == 2  # round-half-away at the shift
+
+
+def test_requantize_multiplier_scales():
+    acc = np.array([[[10]]], dtype=np.int64)
+    assert requantize_int8(acc, multiplier=13, shift=4).flatten()[0] == round(130 / 16)
+
+
+def test_convert_fp16():
+    acc = np.array([[[1.5, -2.25]]], dtype=np.float32)
+    out = convert_fp16(acc)
+    assert out.dtype == np.float16
+    assert np.allclose(out.astype(np.float32), acc)
+    assert convert_fp16(acc, multiplier=1, shift=1).flatten()[0] == np.float16(0.75)
+
+
+@pytest.mark.parametrize("mode", [PoolMode.MAX, PoolMode.AVG, PoolMode.MIN])
+def test_pool_basic(rng, mode):
+    x = rng.integers(-50, 50, size=(3, 6, 6), dtype=np.int8)
+    out = pool2d(x, mode, kernel=(2, 2), stride=(2, 2), pad=(0, 0, 0, 0))
+    assert out.shape == (3, 3, 3)
+    window = x[:, :2, :2].astype(np.float64)
+    if mode is PoolMode.MAX:
+        expected = window.max(axis=(1, 2))
+    elif mode is PoolMode.MIN:
+        expected = window.min(axis=(1, 2))
+    else:
+        expected = np.rint(window.mean(axis=(1, 2)))
+    assert np.array_equal(out[:, 0, 0].astype(np.float64), expected)
+
+
+def test_max_pool_padding_does_not_win(rng):
+    x = np.full((1, 2, 2), -100, dtype=np.int8)
+    out = pool2d(x, PoolMode.MAX, kernel=(3, 3), stride=(1, 1), pad=(1, 1, 1, 1))
+    assert out.max() == -100  # -inf padding never beats real values
+
+
+def test_avg_pool_divides_by_full_window():
+    x = np.full((1, 2, 2), 100, dtype=np.int8)
+    out = pool2d(x, PoolMode.AVG, kernel=(2, 2), stride=(2, 2), pad=(1, 1, 1, 1))
+    # corner window holds one real value + three zero pads -> 25
+    assert out[0, 0, 0] == 25
+
+
+def test_pool_overlapping_windows(rng):
+    x = rng.integers(0, 100, size=(1, 5, 5), dtype=np.int8)
+    out = pool2d(x, PoolMode.MAX, kernel=(3, 3), stride=(1, 1), pad=(0, 0, 0, 0))
+    assert out.shape == (1, 3, 3)
+    assert out[0, 1, 1] == x[0, 1:4, 1:4].max()
+
+
+def test_lrn_matches_definition(rng):
+    x = rng.normal(size=(8, 3, 3)).astype(np.float16)
+    out = lrn(x, local_size=5, alpha=1e-2, beta=0.75, k=1.0)
+    c = 3
+    window = x.astype(np.float32)[max(0, c - 2) : c + 3]
+    denom = (1.0 + (1e-2 / 5) * (window * window).sum(axis=0)) ** 0.75
+    expected = x[c].astype(np.float32) / denom
+    assert np.allclose(out[c].astype(np.float32), expected, rtol=2e-3, atol=2e-3)
+
+
+def test_lrn_int8_stays_int8(rng):
+    x = rng.integers(-100, 100, size=(4, 2, 2), dtype=np.int8)
+    out = lrn(x, local_size=3, alpha=1e-4, beta=0.75, k=1.0)
+    assert out.dtype == np.int8
+
+
+@settings(max_examples=20)
+@given(
+    c=st.integers(1, 6),
+    hw=st.integers(3, 8),
+    k=st.integers(1, 6),
+    ks=st.sampled_from([1, 3]),
+)
+def test_conv_property_vs_scipy(c, hw, k, ks):
+    rng = np.random.default_rng(c * 100 + hw * 10 + k)
+    x = rng.integers(-8, 8, size=(c, hw, hw), dtype=np.int8)
+    w = rng.integers(-4, 4, size=(k, c, ks, ks), dtype=np.int8)
+    ours = conv2d_direct(x, w, (1, 1), (0, 0, 0, 0))
+    assert np.array_equal(ours, scipy_conv(x, w, (1, 1), (0, 0, 0, 0)))

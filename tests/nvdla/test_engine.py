@@ -1,0 +1,245 @@
+"""Engine-level tests: CSB decode, op launch, completion, fidelity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clock import Clock
+from repro.errors import ConfigurationError, RegisterError
+from repro.mem import SparseMemory
+from repro.nvdla import NV_FULL, NV_SMALL, NvdlaEngine
+from repro.nvdla.config import Precision
+from repro.nvdla.csb import UNIT_BASES, register_address
+from repro.nvdla.layout import feature_strides, pack_feature, pack_weights, unpack_feature, weight_size_bytes
+from repro.nvdla.registers import D_OP_ENABLE, S_POINTER
+from repro.nvdla.units.glb import HW_VERSION, HW_VERSION_VALUE, INTR_STATUS
+
+from tests.conftest import DirectDbbPort
+
+
+class EngineHarness:
+    """Programs hardware ops through the CSB like the runtime does."""
+
+    def __init__(self, config=NV_SMALL, fidelity="functional"):
+        self.memory = SparseMemory(1 << 24)
+        self.clock = Clock(100e6)
+        self.engine = NvdlaEngine(
+            config, DirectDbbPort(self.memory), self.clock, fidelity=fidelity
+        )
+        self.config = config
+
+    def write(self, unit: str, register: str, value: int) -> None:
+        offset = self.engine.units[unit].offset_of(register)
+        self.engine.csb_write(UNIT_BASES[unit] + offset, value)
+
+    def tensor(self, unit: str, prefix: str, address: int, shape, precision=Precision.INT8):
+        atom = self.config.atom_channels(precision)
+        c, h, w = shape
+        line, surf = feature_strides(shape, atom, precision)
+        self.write(unit, f"{prefix}_ADDR_HIGH", address >> 32)
+        self.write(unit, f"{prefix}_ADDR_LOW", address & 0xFFFFFFFF)
+        self.write(unit, f"{prefix}_WIDTH", w)
+        self.write(unit, f"{prefix}_HEIGHT", h)
+        self.write(unit, f"{prefix}_CHANNEL", c)
+        self.write(unit, f"{prefix}_LINE_STRIDE", line)
+        self.write(unit, f"{prefix}_SURF_STRIDE", surf)
+
+    def enable(self, unit: str) -> None:
+        self.engine.csb_write(UNIT_BASES[unit] + D_OP_ENABLE, 1)
+
+    def select(self, unit: str, group: int) -> None:
+        self.engine.csb_write(UNIT_BASES[unit] + S_POINTER, group)
+
+    def program_pool(self, in_addr, out_addr, shape, group=0):
+        c, h, w = shape
+        for unit in ("PDP_RDMA", "PDP"):
+            self.select(unit, group)
+        self.tensor("PDP_RDMA", "D_SRC", in_addr, shape)
+        self.write("PDP", "D_MISC_CFG", 0)
+        self.write("PDP", "D_POOLING_METHOD", 0)
+        self.write("PDP", "D_POOLING_KERNEL_WIDTH", 2)
+        self.write("PDP", "D_POOLING_KERNEL_HEIGHT", 2)
+        self.write("PDP", "D_POOLING_STRIDE_X", 2)
+        self.write("PDP", "D_POOLING_STRIDE_Y", 2)
+        for side in ("LEFT", "RIGHT", "TOP", "BOTTOM"):
+            self.write("PDP", f"D_POOLING_PAD_{side}", 0)
+        self.tensor("PDP", "D_DST", out_addr, (c, h // 2, w // 2))
+        self.enable("PDP_RDMA")
+        self.enable("PDP")
+
+
+def test_csb_address_decode_round_trip():
+    assert register_address("SDP", 0x10) == UNIT_BASES["SDP"] + 0x10
+    harness = EngineHarness()
+    assert harness.engine.csb_read(register_address("GLB", HW_VERSION)) == HW_VERSION_VALUE
+
+
+def test_csb_out_of_range_rejected():
+    harness = EngineHarness()
+    with pytest.raises(RegisterError):
+        harness.engine.csb_read(0x80000)
+    with pytest.raises(RegisterError):
+        harness.engine.csb_read(0x1500)  # hole between GLB and MCIF
+
+
+def test_pool_op_runs_and_interrupts(rng):
+    harness = EngineHarness()
+    x = rng.integers(-50, 50, size=(8, 6, 6), dtype=np.int8)
+    harness.memory.write(0x1000, pack_feature(x, 8, Precision.INT8))
+    harness.program_pool(0x1000, 0x2000, (8, 6, 6))
+    assert not harness.engine.irq_asserted
+    assert harness.engine.busy()
+    harness.clock.fast_forward_to_next_event()
+    assert harness.engine.irq_asserted
+    out = unpack_feature(harness.memory.read(0x2000, 8 * 3 * 3), (8, 3, 3), 8, Precision.INT8)
+    expected = x.reshape(8, 3, 2, 3, 2).max(axis=(2, 4))
+    assert np.array_equal(out, expected)
+
+
+def test_interrupt_clear_via_csb(rng):
+    harness = EngineHarness()
+    x = rng.integers(-5, 5, size=(8, 4, 4), dtype=np.int8)
+    harness.memory.write(0x1000, pack_feature(x, 8, Precision.INT8))
+    harness.program_pool(0x1000, 0x2000, (8, 4, 4))
+    harness.clock.fast_forward_to_next_event()
+    status = harness.engine.csb_read(register_address("GLB", INTR_STATUS))
+    harness.engine.csb_write(register_address("GLB", INTR_STATUS), status)
+    assert not harness.engine.irq_asserted
+
+
+def test_pingpong_back_to_back_ops(rng):
+    harness = EngineHarness()
+    x = rng.integers(-50, 50, size=(8, 4, 4), dtype=np.int8)
+    harness.memory.write(0x1000, pack_feature(x, 8, Precision.INT8))
+    harness.program_pool(0x1000, 0x2000, (8, 4, 4), group=0)
+    # Program group 1 while group 0 runs.
+    harness.memory.write(0x3000, pack_feature(x, 8, Precision.INT8))
+    harness.program_pool(0x3000, 0x4000, (8, 4, 4), group=1)
+    harness.clock.fast_forward_to_next_event()  # completes g0, launches g1
+    harness.clock.fast_forward_to_next_event()
+    assert len(harness.engine.records) == 2
+    assert harness.engine.records[0].group == 0
+    assert harness.engine.records[1].group == 1
+    out = unpack_feature(harness.memory.read(0x4000, 8 * 2 * 2), (8, 2, 2), 8, Precision.INT8)
+    expected = x.reshape(8, 2, 2, 2, 2).max(axis=(2, 4))
+    assert np.array_equal(out, expected)
+
+
+def test_timing_fidelity_skips_data(rng):
+    harness = EngineHarness(fidelity="timing")
+    harness.program_pool(0x1000, 0x2000, (8, 4, 4))
+    harness.clock.fast_forward_to_next_event()
+    assert harness.engine.irq_asserted
+    # No functional write happened.
+    assert harness.memory.read(0x2000, 4) == b"\x00" * 4
+    assert harness.engine.records[0].timing.total > 0
+
+
+def test_bad_fidelity_rejected():
+    with pytest.raises(ConfigurationError):
+        NvdlaEngine(NV_SMALL, DirectDbbPort(SparseMemory(1024)), Clock(), fidelity="magic")
+
+
+def test_fp16_rejected_on_nv_small():
+    harness = EngineHarness()
+    harness.select("PDP_RDMA", 0)
+    harness.select("PDP", 0)
+    harness.tensor("PDP_RDMA", "D_SRC", 0x1000, (8, 4, 4))
+    harness.write("PDP", "D_MISC_CFG", 1)  # fp16 on an int8-only build
+    harness.write("PDP", "D_POOLING_METHOD", 0)
+    harness.write("PDP", "D_POOLING_KERNEL_WIDTH", 2)
+    harness.write("PDP", "D_POOLING_KERNEL_HEIGHT", 2)
+    harness.write("PDP", "D_POOLING_STRIDE_X", 2)
+    harness.write("PDP", "D_POOLING_STRIDE_Y", 2)
+    for side in ("LEFT", "RIGHT", "TOP", "BOTTOM"):
+        self_pad = 0
+        harness.write("PDP", f"D_POOLING_PAD_{side}", self_pad)
+    harness.tensor("PDP", "D_DST", 0x2000, (8, 2, 2))
+    harness.enable("PDP_RDMA")
+    with pytest.raises(ConfigurationError):
+        harness.enable("PDP")
+
+
+def test_conv_requires_all_producers_before_launch(rng):
+    """Enabling SDP without the conv units must not launch anything."""
+    harness = EngineHarness()
+    # minimal SDP flying config
+    harness.select("SDP_RDMA", 0)
+    harness.select("SDP", 0)
+    harness.write("SDP_RDMA", "D_FEATURE_MODE_CFG", 0)
+    harness.write("SDP", "D_MISC_CFG", 0)
+    harness.write("SDP", "D_OUT_PRECISION", 0)
+    harness.write("SDP", "D_DATA_CUBE_WIDTH", 2)
+    harness.write("SDP", "D_DATA_CUBE_HEIGHT", 2)
+    harness.write("SDP", "D_DATA_CUBE_CHANNEL", 8)
+    harness.tensor("SDP", "D_DST", 0x2000, (8, 2, 2))
+    harness.write("SDP", "D_CVT_MULT", 1)
+    harness.enable("SDP")
+    assert not harness.engine.busy()
+    assert harness.engine.records == []
+
+
+def test_full_conv_through_engine(rng):
+    """Conv + bias + relu on nv_full FP16, cross-checked numerically."""
+    harness = EngineHarness(config=NV_FULL)
+    precision = Precision.FP16
+    atom = NV_FULL.atom_channels(precision)
+    ac, ak = NV_FULL.atoms(precision)
+    x = rng.normal(size=(3, 6, 6)).astype(np.float16)
+    w = rng.normal(size=(4, 3, 3, 3)).astype(np.float16)
+    harness.memory.write(0x1000, pack_feature(x, atom, precision))
+    harness.memory.write(0x8000, pack_weights(w, ac, ak, precision))
+    wbytes = weight_size_bytes(w.shape, ac, ak, precision)
+
+    for unit in ("CDMA", "CSC", "CMAC_A", "CMAC_B", "CACC", "SDP_RDMA", "SDP"):
+        harness.select(unit, 0)
+    harness.write("CDMA", "D_MISC_CFG", 1)
+    harness.tensor("CDMA", "D_DAIN", 0x1000, (3, 6, 6), precision)
+    harness.write("CDMA", "D_WEIGHT_ADDR_HIGH", 0)
+    harness.write("CDMA", "D_WEIGHT_ADDR_LOW", 0x8000)
+    harness.write("CDMA", "D_WEIGHT_BYTES", wbytes)
+    harness.write("CDMA", "D_CONV_STRIDE_X", 1)
+    harness.write("CDMA", "D_CONV_STRIDE_Y", 1)
+    for side in ("LEFT", "RIGHT", "TOP", "BOTTOM"):
+        harness.write("CDMA", f"D_ZERO_PADDING_{side}", 0)
+    harness.write("CDMA", "D_BANK_DATA", 8)
+    harness.write("CDMA", "D_BANK_WEIGHT", 8)
+    harness.write("CSC", "D_MISC_CFG", 1)
+    harness.write("CSC", "D_WEIGHT_SIZE_K", 4)
+    harness.write("CSC", "D_WEIGHT_SIZE_C", 3)
+    harness.write("CSC", "D_WEIGHT_SIZE_R", 3)
+    harness.write("CSC", "D_WEIGHT_SIZE_S", 3)
+    harness.write("CSC", "D_DATAOUT_WIDTH", 4)
+    harness.write("CSC", "D_DATAOUT_HEIGHT", 4)
+    harness.write("CMAC_A", "D_MISC_CFG", 1)
+    harness.write("CMAC_B", "D_MISC_CFG", 1)
+    harness.write("CACC", "D_MISC_CFG", 1)
+    harness.write("CACC", "D_DATAOUT_WIDTH", 4)
+    harness.write("CACC", "D_DATAOUT_HEIGHT", 4)
+    harness.write("CACC", "D_DATAOUT_CHANNEL", 4)
+    harness.write("SDP_RDMA", "D_FEATURE_MODE_CFG", 0)
+    harness.write("SDP_RDMA", "D_BRDMA_CFG", 0)
+    harness.write("SDP", "D_MISC_CFG", 1)
+    harness.write("SDP", "D_OUT_PRECISION", 1)
+    harness.write("SDP", "D_DATA_CUBE_WIDTH", 4)
+    harness.write("SDP", "D_DATA_CUBE_HEIGHT", 4)
+    harness.write("SDP", "D_DATA_CUBE_CHANNEL", 4)
+    harness.tensor("SDP", "D_DST", 0x20000, (4, 4, 4), precision)
+    harness.write("SDP", "D_ACT_CFG", 1)
+    harness.write("SDP", "D_CVT_MULT", 1)
+    harness.write("SDP", "D_CVT_SHIFT", 0)
+    for unit in ("CACC", "CMAC_A", "CMAC_B", "CSC", "CDMA"):
+        harness.enable(unit)
+    harness.enable("SDP")
+    harness.clock.fast_forward_to_next_event()
+
+    packed = atom * 4 * 4 * precision.itemsize  # one padded surface
+    out = unpack_feature(harness.memory.read(0x20000, packed), (4, 4, 4), atom, precision)
+    from tests.nvdla.test_compute import scipy_conv_float
+
+    expected = np.maximum(scipy_conv_float(x, w), 0)
+    assert np.allclose(out.astype(np.float32), expected, rtol=5e-2, atol=5e-2)
+    record = harness.engine.records[0]
+    assert record.kind == "conv"
+    assert record.timing.detail["macs"] == 4 * 3 * 3 * 3 * 4 * 4

@@ -1,0 +1,231 @@
+"""Engine coverage for SDP-standalone, CDP, RUBIK and failure injection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nvdla import NV_FULL, NV_SMALL
+from repro.nvdla.config import Precision
+from repro.nvdla.csb import UNIT_BASES
+from repro.nvdla.layout import pack_feature, unpack_feature
+
+from tests.nvdla.test_engine import EngineHarness
+
+
+def _write_feature(harness, address, tensor, precision=Precision.INT8):
+    atom = harness.config.atom_channels(precision)
+    harness.memory.write(address, pack_feature(tensor, atom, precision))
+
+
+def _read_feature(harness, address, shape, precision=Precision.INT8):
+    atom = harness.config.atom_channels(precision)
+    c, h, w = shape
+    nbytes = -(-c // atom) * atom * h * w * precision.itemsize
+    return unpack_feature(harness.memory.read(address, nbytes), shape, atom, precision)
+
+
+def test_sdp_standalone_eltwise_add(rng):
+    harness = EngineHarness()
+    a = rng.integers(-40, 40, size=(8, 4, 4), dtype=np.int8)
+    b = rng.integers(-40, 40, size=(8, 4, 4), dtype=np.int8)
+    _write_feature(harness, 0x1000, a)
+    _write_feature(harness, 0x2000, b)
+    for unit in ("SDP_RDMA", "SDP"):
+        harness.select(unit, 0)
+    harness.write("SDP_RDMA", "D_FEATURE_MODE_CFG", 1)  # memory source
+    harness.tensor("SDP_RDMA", "D_SRC", 0x1000, (8, 4, 4))
+    harness.write("SDP_RDMA", "D_BRDMA_CFG", 0)
+    harness.write("SDP_RDMA", "D_NRDMA_CFG", 0)
+    harness.write("SDP_RDMA", "D_ERDMA_CFG", 1)
+    harness.tensor("SDP_RDMA", "D_EW", 0x2000, (8, 4, 4))
+    harness.write("SDP", "D_MISC_CFG", 0)
+    harness.write("SDP", "D_OUT_PRECISION", 0)
+    harness.write("SDP", "D_DATA_CUBE_WIDTH", 4)
+    harness.write("SDP", "D_DATA_CUBE_HEIGHT", 4)
+    harness.write("SDP", "D_DATA_CUBE_CHANNEL", 8)
+    harness.tensor("SDP", "D_DST", 0x3000, (8, 4, 4))
+    harness.write("SDP", "D_DP_EW_CFG", 1)  # ADD
+    harness.write("SDP", "D_ACT_CFG", 1)  # ReLU
+    harness.write("SDP", "D_CVT_MULT", 1)
+    harness.enable("SDP_RDMA")
+    harness.enable("SDP")
+    harness.clock.fast_forward_to_next_event()
+    out = _read_feature(harness, 0x3000, (8, 4, 4))
+    expected = np.clip(
+        np.maximum(a.astype(np.int64) + b.astype(np.int64), 0), -128, 127
+    ).astype(np.int8)
+    assert np.array_equal(out, expected)
+    assert harness.engine.records[0].kind == "sdp"
+
+
+def test_cdp_lrn_runs_functionally(rng):
+    harness = EngineHarness()
+    x = rng.integers(-60, 60, size=(8, 3, 3), dtype=np.int8)
+    _write_feature(harness, 0x1000, x)
+    from repro.nvdla.descriptors import f32_to_bits
+
+    harness.select("CDP_RDMA", 0)
+    harness.select("CDP", 0)
+    harness.tensor("CDP_RDMA", "D_SRC", 0x1000, (8, 3, 3))
+    harness.write("CDP", "D_MISC_CFG", 0)
+    harness.write("CDP", "D_LRN_LOCAL_SIZE", 5)
+    harness.write("CDP", "D_LRN_ALPHA", f32_to_bits(1e-4))
+    harness.write("CDP", "D_LRN_BETA", f32_to_bits(0.75))
+    harness.write("CDP", "D_LRN_K", f32_to_bits(1.0))
+    harness.tensor("CDP", "D_DST", 0x2000, (8, 3, 3))
+    harness.enable("CDP_RDMA")
+    harness.enable("CDP")
+    harness.clock.fast_forward_to_next_event()
+    out = _read_feature(harness, 0x2000, (8, 3, 3))
+    from repro.nvdla.compute import lrn
+
+    assert np.array_equal(out, lrn(x, 5, 1e-4, 0.75, 1.0))
+    assert harness.engine.records[0].kind == "cdp"
+
+
+def test_rubik_contract_on_nv_full(rng):
+    harness = EngineHarness(config=NV_FULL)
+    precision = Precision.INT8
+    atom = NV_FULL.atom_channels(precision)
+    x = rng.integers(-50, 50, size=(atom, 4, 4), dtype=np.int8)
+    _write_feature(harness, 0x1000, x, precision)
+    harness.select("RUBIK", 0)
+    harness.write("RUBIK", "D_MISC_CFG", 0)  # int8, contract
+    harness.tensor("RUBIK", "D_DAIN", 0x1000, (atom, 4, 4), precision)
+    harness.tensor("RUBIK", "D_DAOUT", 0x8000, (atom, 4, 4), precision)
+    harness.enable("RUBIK")
+    harness.clock.fast_forward_to_next_event()
+    out = _read_feature(harness, 0x8000, (atom, 4, 4), precision)
+    assert np.array_equal(out, x)
+
+
+def test_rubik_rejected_on_nv_small():
+    harness = EngineHarness(config=NV_SMALL)
+    harness.select("RUBIK", 0)
+    harness.write("RUBIK", "D_MISC_CFG", 0)
+    harness.tensor("RUBIK", "D_DAIN", 0x1000, (8, 2, 2))
+    harness.tensor("RUBIK", "D_DAOUT", 0x2000, (8, 2, 2))
+    with pytest.raises(ConfigurationError):
+        harness.enable("RUBIK")
+
+
+# ----------------------------------------------------------------------
+# Failure injection: malformed descriptors must fail at enable time
+# with a diagnosable error, not corrupt memory.
+# ----------------------------------------------------------------------
+
+
+def test_conv_with_wrong_output_dims_rejected(rng):
+    harness = EngineHarness()
+    harness.select("PDP_RDMA", 0)
+    harness.select("PDP", 0)
+    harness.tensor("PDP_RDMA", "D_SRC", 0x1000, (8, 6, 6))
+    harness.write("PDP", "D_MISC_CFG", 0)
+    harness.write("PDP", "D_POOLING_METHOD", 0)
+    harness.write("PDP", "D_POOLING_KERNEL_WIDTH", 2)
+    harness.write("PDP", "D_POOLING_KERNEL_HEIGHT", 2)
+    harness.write("PDP", "D_POOLING_STRIDE_X", 2)
+    harness.write("PDP", "D_POOLING_STRIDE_Y", 2)
+    for side in ("LEFT", "RIGHT", "TOP", "BOTTOM"):
+        harness.write("PDP", f"D_POOLING_PAD_{side}", 0)
+    harness.tensor("PDP", "D_DST", 0x2000, (8, 5, 5))  # wrong: should be 3x3
+    harness.enable("PDP_RDMA")
+    with pytest.raises(ConfigurationError):
+        harness.enable("PDP")
+
+
+def test_pdp_bad_method_code_rejected():
+    harness = EngineHarness()
+    harness.select("PDP_RDMA", 0)
+    harness.select("PDP", 0)
+    harness.tensor("PDP_RDMA", "D_SRC", 0x1000, (8, 4, 4))
+    harness.write("PDP", "D_POOLING_METHOD", 7)
+    harness.write("PDP", "D_POOLING_KERNEL_WIDTH", 2)
+    harness.write("PDP", "D_POOLING_KERNEL_HEIGHT", 2)
+    harness.write("PDP", "D_POOLING_STRIDE_X", 2)
+    harness.write("PDP", "D_POOLING_STRIDE_Y", 2)
+    for side in ("LEFT", "RIGHT", "TOP", "BOTTOM"):
+        harness.write("PDP", f"D_POOLING_PAD_{side}", 0)
+    harness.tensor("PDP", "D_DST", 0x2000, (8, 2, 2))
+    harness.enable("PDP_RDMA")
+    with pytest.raises(ConfigurationError):
+        harness.enable("PDP")
+
+
+def test_sdp_eltwise_without_erdma_rejected():
+    harness = EngineHarness()
+    for unit in ("SDP_RDMA", "SDP"):
+        harness.select(unit, 0)
+    harness.write("SDP_RDMA", "D_FEATURE_MODE_CFG", 1)
+    harness.tensor("SDP_RDMA", "D_SRC", 0x1000, (8, 2, 2))
+    harness.write("SDP_RDMA", "D_ERDMA_CFG", 0)  # eltwise read NOT enabled
+    harness.write("SDP", "D_MISC_CFG", 0)
+    harness.write("SDP", "D_OUT_PRECISION", 0)
+    harness.write("SDP", "D_DATA_CUBE_WIDTH", 2)
+    harness.write("SDP", "D_DATA_CUBE_HEIGHT", 2)
+    harness.write("SDP", "D_DATA_CUBE_CHANNEL", 8)
+    harness.tensor("SDP", "D_DST", 0x2000, (8, 2, 2))
+    harness.write("SDP", "D_DP_EW_CFG", 1)  # ...but eltwise requested
+    harness.write("SDP", "D_CVT_MULT", 1)
+    harness.enable("SDP_RDMA")
+    with pytest.raises(ConfigurationError):
+        harness.enable("SDP")
+
+
+def test_cdma_weight_bytes_mismatch_rejected(rng):
+    """A wrong D_WEIGHT_BYTES (the classic integration bug) is caught."""
+    harness = EngineHarness()
+    for unit in ("CDMA", "CSC", "CMAC_A", "CMAC_B", "CACC", "SDP_RDMA", "SDP"):
+        harness.select(unit, 0)
+    harness.write("CDMA", "D_MISC_CFG", 0)
+    harness.tensor("CDMA", "D_DAIN", 0x1000, (8, 4, 4))
+    harness.write("CDMA", "D_WEIGHT_ADDR_LOW", 0x8000)
+    harness.write("CDMA", "D_WEIGHT_BYTES", 17)  # bogus
+    harness.write("CDMA", "D_CONV_STRIDE_X", 1)
+    harness.write("CDMA", "D_CONV_STRIDE_Y", 1)
+    for side in ("LEFT", "RIGHT", "TOP", "BOTTOM"):
+        harness.write("CDMA", f"D_ZERO_PADDING_{side}", 0)
+    harness.write("CSC", "D_MISC_CFG", 0)
+    harness.write("CSC", "D_WEIGHT_SIZE_K", 8)
+    harness.write("CSC", "D_WEIGHT_SIZE_C", 8)
+    harness.write("CSC", "D_WEIGHT_SIZE_R", 3)
+    harness.write("CSC", "D_WEIGHT_SIZE_S", 3)
+    harness.write("CSC", "D_DATAOUT_WIDTH", 2)
+    harness.write("CSC", "D_DATAOUT_HEIGHT", 2)
+    harness.write("CACC", "D_DATAOUT_WIDTH", 2)
+    harness.write("CACC", "D_DATAOUT_HEIGHT", 2)
+    harness.write("CACC", "D_DATAOUT_CHANNEL", 8)
+    harness.write("SDP_RDMA", "D_FEATURE_MODE_CFG", 0)
+    harness.write("SDP", "D_MISC_CFG", 0)
+    harness.write("SDP", "D_OUT_PRECISION", 0)
+    harness.write("SDP", "D_DATA_CUBE_WIDTH", 2)
+    harness.write("SDP", "D_DATA_CUBE_HEIGHT", 2)
+    harness.write("SDP", "D_DATA_CUBE_CHANNEL", 8)
+    harness.tensor("SDP", "D_DST", 0x20000, (8, 2, 2))
+    harness.write("SDP", "D_CVT_MULT", 1)
+    for unit in ("CACC", "CMAC_A", "CMAC_B", "CSC", "CDMA"):
+        harness.enable(unit)
+    with pytest.raises(ConfigurationError):
+        harness.enable("SDP")
+
+
+def test_failed_launch_leaves_no_record():
+    harness = EngineHarness()
+    harness.select("PDP_RDMA", 0)
+    harness.select("PDP", 0)
+    harness.tensor("PDP_RDMA", "D_SRC", 0x1000, (8, 4, 4))
+    harness.write("PDP", "D_POOLING_METHOD", 9)
+    harness.write("PDP", "D_POOLING_KERNEL_WIDTH", 2)
+    harness.write("PDP", "D_POOLING_KERNEL_HEIGHT", 2)
+    harness.write("PDP", "D_POOLING_STRIDE_X", 2)
+    harness.write("PDP", "D_POOLING_STRIDE_Y", 2)
+    for side in ("LEFT", "RIGHT", "TOP", "BOTTOM"):
+        harness.write("PDP", f"D_POOLING_PAD_{side}", 0)
+    harness.tensor("PDP", "D_DST", 0x2000, (8, 2, 2))
+    harness.enable("PDP_RDMA")
+    with pytest.raises(ConfigurationError):
+        harness.enable("PDP")
+    assert harness.engine.records == []
+    assert not harness.engine.irq_asserted

@@ -1,0 +1,132 @@
+"""Feature/weight layout: round trips, padding, strides."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.nvdla.config import Precision
+from repro.nvdla.layout import (
+    ceil_div,
+    feature_size_bytes,
+    feature_strides,
+    pack_feature,
+    pack_weights,
+    unpack_feature,
+    unpack_weights,
+    weight_size_bytes,
+)
+
+
+def test_feature_roundtrip_exact_atoms(rng):
+    tensor = rng.integers(-128, 128, size=(16, 5, 7), dtype=np.int8)
+    blob = pack_feature(tensor, 8, Precision.INT8)
+    assert len(blob) == feature_size_bytes((16, 5, 7), 8, Precision.INT8)
+    back = unpack_feature(blob, (16, 5, 7), 8, Precision.INT8)
+    assert np.array_equal(tensor, back)
+
+
+def test_feature_roundtrip_with_channel_padding(rng):
+    tensor = rng.integers(-128, 128, size=(20, 4, 4), dtype=np.int8)
+    blob = pack_feature(tensor, 8, Precision.INT8)
+    assert len(blob) == 3 * 4 * 4 * 8  # 3 surfaces of 8 lanes
+    back = unpack_feature(blob, (20, 4, 4), 8, Precision.INT8)
+    assert np.array_equal(tensor, back)
+
+
+def test_feature_padding_lanes_are_zero(rng):
+    tensor = rng.integers(1, 127, size=(9, 2, 2), dtype=np.int8)
+    blob = np.frombuffer(pack_feature(tensor, 8, Precision.INT8), dtype=np.int8)
+    surfaces = blob.reshape(2, 2, 2, 8)
+    assert np.count_nonzero(surfaces[1, :, :, 1:]) == 0  # lanes 9..15 padded
+
+
+def test_feature_fp16_roundtrip(rng):
+    tensor = rng.normal(size=(10, 3, 3)).astype(np.float16)
+    blob = pack_feature(tensor, 16, Precision.FP16)
+    back = unpack_feature(blob, (10, 3, 3), 16, Precision.FP16)
+    assert np.array_equal(tensor, back)
+
+
+def test_feature_layout_order_is_surface_h_w_lane():
+    tensor = np.zeros((8, 2, 3), dtype=np.int8)
+    tensor[2, 1, 2] = 77  # channel 2, row 1, col 2
+    blob = pack_feature(tensor, 8, Precision.INT8)
+    # offset = ((row * W) + col) * atom + lane
+    assert blob[(1 * 3 + 2) * 8 + 2] == 77
+
+
+def test_feature_strides_match_packing():
+    line, surf = feature_strides((16, 5, 7), 8, Precision.INT8)
+    assert line == 7 * 8
+    assert surf == 5 * 7 * 8
+
+
+def test_feature_wrong_rank_rejected():
+    with pytest.raises(ConfigurationError):
+        pack_feature(np.zeros((2, 2)), 8, Precision.INT8)
+
+
+def test_unpack_short_blob_rejected():
+    with pytest.raises(ConfigurationError):
+        unpack_feature(b"\x00" * 10, (8, 2, 2), 8, Precision.INT8)
+
+
+@settings(max_examples=30)
+@given(
+    c=st.integers(1, 40),
+    h=st.integers(1, 6),
+    w=st.integers(1, 6),
+    atom=st.sampled_from([8, 16, 32]),
+)
+def test_feature_roundtrip_property(c, h, w, atom):
+    rng = np.random.default_rng(c * 100 + h * 10 + w)
+    tensor = rng.integers(-128, 128, size=(c, h, w), dtype=np.int8)
+    back = unpack_feature(
+        pack_feature(tensor, atom, Precision.INT8), (c, h, w), atom, Precision.INT8
+    )
+    assert np.array_equal(tensor, back)
+
+
+def test_weight_roundtrip_padded(rng):
+    weights = rng.integers(-128, 128, size=(20, 5, 3, 3), dtype=np.int8)
+    blob = pack_weights(weights, 8, 8, Precision.INT8)
+    assert len(blob) == weight_size_bytes((20, 5, 3, 3), 8, 8, Precision.INT8)
+    back = unpack_weights(blob, (20, 5, 3, 3), 8, 8, Precision.INT8)
+    assert np.array_equal(weights, back)
+
+
+def test_weight_size_includes_both_paddings():
+    # K 20 -> 3 kernel groups of 8, C 5 -> 1 channel group of 8.
+    size = weight_size_bytes((20, 5, 3, 3), 8, 8, Precision.INT8)
+    assert size == 3 * 8 * 1 * 8 * 9
+
+
+def test_weight_fp16_roundtrip(rng):
+    weights = rng.normal(size=(10, 3, 2, 2)).astype(np.float16)
+    blob = pack_weights(weights, 64, 16, Precision.FP16)
+    back = unpack_weights(blob, (10, 3, 2, 2), 64, 16, Precision.FP16)
+    assert np.array_equal(weights, back)
+
+
+@settings(max_examples=30)
+@given(
+    k=st.integers(1, 24),
+    c=st.integers(1, 20),
+    r=st.sampled_from([1, 3, 5]),
+)
+def test_weight_roundtrip_property(k, c, r):
+    rng = np.random.default_rng(k * 1000 + c * 10 + r)
+    weights = rng.integers(-128, 128, size=(k, c, r, r), dtype=np.int8)
+    back = unpack_weights(
+        pack_weights(weights, 8, 8, Precision.INT8), (k, c, r, r), 8, 8, Precision.INT8
+    )
+    assert np.array_equal(weights, back)
+
+
+def test_ceil_div():
+    assert ceil_div(7, 8) == 1
+    assert ceil_div(8, 8) == 1
+    assert ceil_div(9, 8) == 2

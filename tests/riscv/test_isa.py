@@ -1,0 +1,199 @@
+"""Instruction encode/decode: fixed vectors plus round-trip properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import IsaError
+from repro.riscv.isa import (
+    Decoded,
+    Format,
+    SPECS,
+    SPEC_BY_MNEMONIC,
+    decode,
+    encode,
+    sign_extend,
+    to_s32,
+    to_u32,
+)
+
+# Golden encodings cross-checked against the RISC-V spec examples.
+GOLDEN = [
+    ("addi", dict(rd=1, rs1=0, imm=42), 0x02A00093),
+    ("addi", dict(rd=10, rs1=10, imm=-1), 0xFFF50513),
+    ("lui", dict(rd=5, imm=0x12345), 0x123452B7),
+    ("auipc", dict(rd=3, imm=0x1), 0x00001197),
+    ("add", dict(rd=3, rs1=1, rs2=2), 0x002081B3),
+    ("sub", dict(rd=3, rs1=1, rs2=2), 0x402081B3),
+    ("sw", dict(rs1=2, rs2=1, imm=8), 0x00112423),
+    ("lw", dict(rd=1, rs1=2, imm=8), 0x00812083),
+    ("beq", dict(rs1=1, rs2=2, imm=8), 0x00208463),
+    ("jal", dict(rd=1, imm=2048), 0x001000EF),
+    ("jalr", dict(rd=0, rs1=1, imm=0), 0x00008067),
+    ("slli", dict(rd=1, rs1=1, imm=4), 0x00409093),
+    ("srai", dict(rd=1, rs1=1, imm=4), 0x4040D093),
+    ("mul", dict(rd=3, rs1=1, rs2=2), 0x022081B3),
+    ("ecall", dict(), 0x00000073),
+    ("ebreak", dict(), 0x00100073),
+]
+
+
+@pytest.mark.parametrize("mnemonic,fields,expected", GOLDEN)
+def test_golden_encodings(mnemonic, fields, expected):
+    assert encode(mnemonic, **fields) == expected
+
+
+@pytest.mark.parametrize("mnemonic,fields,expected", GOLDEN)
+def test_golden_decodings(mnemonic, fields, expected):
+    decoded = decode(expected)
+    assert decoded.mnemonic == mnemonic
+    for key, value in fields.items():
+        assert getattr(decoded, key) == value
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(IsaError):
+        encode("bogus")
+
+
+def test_misaligned_branch_rejected():
+    with pytest.raises(IsaError):
+        encode("beq", rs1=0, rs2=0, imm=3)
+
+
+def test_immediate_range_checked():
+    with pytest.raises(IsaError):
+        encode("addi", rd=1, rs1=1, imm=5000)
+    with pytest.raises(IsaError):
+        encode("slli", rd=1, rs1=1, imm=32)
+
+
+def test_illegal_instruction_raises():
+    with pytest.raises(IsaError):
+        decode(0xFFFFFFFF)
+    with pytest.raises(IsaError):
+        decode(0x0000007F)
+
+
+def test_decode_classifies_loads_stores_branches():
+    assert decode(encode("lw", rd=1, rs1=2, imm=0)).is_load
+    assert decode(encode("sb", rs1=2, rs2=1, imm=0)).is_store
+    assert decode(encode("bne", rs1=1, rs2=2, imm=4)).is_branch
+    assert decode(encode("jal", rd=1, imm=4)).is_jump
+    assert decode(encode("div", rd=1, rs1=1, rs2=2)).is_mul_div
+    assert not decode(encode("add", rd=1, rs1=1, rs2=2)).is_mul_div
+
+
+def test_sign_extension_helpers():
+    assert sign_extend(0xFFF, 12) == -1
+    assert sign_extend(0x7FF, 12) == 2047
+    assert to_s32(0xFFFFFFFF) == -1
+    assert to_u32(-1) == 0xFFFFFFFF
+
+
+_REG = st.integers(min_value=0, max_value=31)
+
+
+@given(rd=_REG, rs1=_REG, rs2=_REG)
+def test_rtype_roundtrip(rd, rs1, rs2):
+    for mnemonic in ("add", "sub", "xor", "sltu", "mul", "remu"):
+        word = encode(mnemonic, rd=rd, rs1=rs1, rs2=rs2)
+        decoded = decode(word)
+        assert (decoded.mnemonic, decoded.rd, decoded.rs1, decoded.rs2) == (
+            mnemonic,
+            rd,
+            rs1,
+            rs2,
+        )
+
+
+@given(rd=_REG, rs1=_REG, imm=st.integers(min_value=-2048, max_value=2047))
+def test_itype_roundtrip(rd, rs1, imm):
+    for mnemonic in ("addi", "andi", "ori", "lw", "jalr"):
+        word = encode(mnemonic, rd=rd, rs1=rs1, imm=imm)
+        decoded = decode(word)
+        assert (decoded.mnemonic, decoded.rd, decoded.rs1, decoded.imm) == (
+            mnemonic,
+            rd,
+            rs1,
+            imm,
+        )
+
+
+@given(rs1=_REG, rs2=_REG, imm=st.integers(min_value=-2048, max_value=2047))
+def test_stype_roundtrip(rs1, rs2, imm):
+    word = encode("sw", rs1=rs1, rs2=rs2, imm=imm)
+    decoded = decode(word)
+    assert (decoded.rs1, decoded.rs2, decoded.imm) == (rs1, rs2, imm)
+
+
+@given(rs1=_REG, rs2=_REG, imm=st.integers(min_value=-2048, max_value=2047).map(lambda i: i * 2))
+def test_btype_roundtrip(rs1, rs2, imm):
+    word = encode("bge", rs1=rs1, rs2=rs2, imm=imm)
+    decoded = decode(word)
+    assert (decoded.rs1, decoded.rs2, decoded.imm) == (rs1, rs2, imm)
+
+
+@given(rd=_REG, imm=st.integers(min_value=-(1 << 19), max_value=(1 << 19) - 1).map(lambda i: i * 2))
+def test_jtype_roundtrip(rd, imm):
+    word = encode("jal", rd=rd, imm=imm)
+    decoded = decode(word)
+    assert (decoded.rd, decoded.imm) == (rd, imm)
+
+
+@given(rd=_REG, imm=st.integers(min_value=0, max_value=(1 << 20) - 1))
+def test_utype_roundtrip(rd, imm):
+    for mnemonic in ("lui", "auipc"):
+        decoded = decode(encode(mnemonic, rd=rd, imm=imm))
+        assert (decoded.rd, decoded.imm) == (rd, imm)
+
+
+@given(
+    rd=_REG,
+    rs1=_REG,
+    csr=st.sampled_from([0x300, 0xB00, 0xC00, 0xC80]),
+)
+def test_csr_roundtrip(rd, rs1, csr):
+    for mnemonic in ("csrrw", "csrrs", "csrrc"):
+        decoded = decode(encode(mnemonic, rd=rd, rs1=rs1, csr=csr))
+        assert (decoded.mnemonic, decoded.rd, decoded.rs1, decoded.csr) == (
+            mnemonic,
+            rd,
+            rs1,
+            csr,
+        )
+
+
+def test_spec_table_is_consistent():
+    assert len({s.mnemonic for s in SPECS}) == len(SPECS)
+    for spec in SPECS:
+        assert SPEC_BY_MNEMONIC[spec.mnemonic] is spec
+
+
+def test_every_spec_roundtrips_through_decode():
+    for spec in SPECS:
+        if spec.fmt in (Format.CSR, Format.CSRI):
+            word = encode(spec.mnemonic, rd=1, rs1=1, imm=1 if spec.fmt is Format.CSRI else 0, csr=0x300)
+        elif spec.fmt is Format.B:
+            word = encode(spec.mnemonic, rs1=1, rs2=2, imm=8)
+        elif spec.fmt is Format.J:
+            word = encode(spec.mnemonic, rd=1, imm=8)
+        elif spec.fmt is Format.SHIFT:
+            word = encode(spec.mnemonic, rd=1, rs1=1, imm=3)
+        elif spec.fmt in (Format.SYS, Format.FENCE):
+            word = encode(spec.mnemonic)
+        elif spec.fmt is Format.U:
+            word = encode(spec.mnemonic, rd=1, imm=5)
+        elif spec.fmt is Format.S:
+            word = encode(spec.mnemonic, rs1=1, rs2=2, imm=4)
+        else:
+            word = encode(spec.mnemonic, rd=1, rs1=2, rs2=3, imm=4)
+        assert decode(word).mnemonic == spec.mnemonic
+
+
+def test_decoded_is_hashable_value_object():
+    a = decode(encode("add", rd=1, rs1=2, rs2=3))
+    b = decode(encode("add", rd=1, rs1=2, rs2=3))
+    assert a == b
+    assert isinstance(a, Decoded)

@@ -1,0 +1,59 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "nv_small" in out and "lenet5" in out
+
+
+def test_run_lenet_timing(capsys):
+    code = main(["run", "--model", "lenet5", "--fidelity", "timing"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "DONE" in out and "cycles" in out
+
+
+def test_flow_dumps_artifacts(tmp_path, capsys):
+    code = main(["flow", "--model", "lenet5", "--out", str(tmp_path)])
+    assert code == 0
+    names = {p.name for p in tmp_path.iterdir()}
+    assert {"lenet5.prototxt", "lenet5.cfg", "lenet5.S", "lenet5.mem", "vp_trace.log"} <= names
+    assert "weights.bin" in names
+
+
+def test_table1(capsys):
+    assert main(["table1"]) == 0
+    assert "nv_small NVDLA" in capsys.readouterr().out
+
+
+def test_synth_nv_small_fits(capsys):
+    assert main(["synth", "--config", "nv_small"]) == 0
+    assert "FITS" in capsys.readouterr().out
+
+
+def test_synth_nv_full_fails(capsys):
+    assert main(["synth", "--config", "nv_full"]) == 2
+    assert "OVER-UTILIZED" in capsys.readouterr().out
+
+
+def test_sanity_all_traces(capsys):
+    assert main(["sanity"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("PASS") == 4
+
+
+def test_sanity_single_trace(capsys):
+    assert main(["sanity", "--trace", "conv"]) == 0
+    assert "conv" in capsys.readouterr().out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,193 @@
+"""Virtual platform: trace format, runtime execution, validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiler import CompileOptions, compile_network
+from repro.errors import TraceError
+from repro.nn import ReferenceExecutor
+from repro.nn.zoo import lenet5
+from repro.nvdla import NV_FULL, NV_SMALL
+from repro.nvdla.config import Precision
+from repro.vp import NvdlaRuntime, TraceLog, VirtualPlatform, parse_trace
+from repro.vp.trace_log import CsbTransaction, DbbTransaction
+
+
+# ----------------------------------------------------------------------
+# Trace log format.
+# ----------------------------------------------------------------------
+
+
+def test_csb_line_format():
+    txn = CsbTransaction(cycle=12, address=0xB010, data=0x1, iswrite=True)
+    assert txn.render() == "12 nvdla.csb_adaptor: addr=0x0000b010 data=0x00000001 iswrite=1"
+
+
+def test_dbb_line_format():
+    txn = DbbTransaction(cycle=3, address=0x100000, data=b"\xAA\xBB", iswrite=False)
+    line = txn.render()
+    assert "nvdla.dbb_adaptor" in line
+    assert "len=2" in line and "data=aabb" in line
+
+
+def test_trace_roundtrip():
+    log = TraceLog()
+    log.log_csb(1, 0x5000, 0xDEAD, True)
+    log.log_csb(2, 0x000C, 0x4, False)
+    log.log_dbb(3, 0x100000, bytes(range(100)), False)
+    back = parse_trace(log.render())
+    assert len(back.csb) == 2
+    assert back.csb[0].data == 0xDEAD
+    assert back.csb[1].iswrite is False
+    assert sum(len(t.data) for t in back.dbb) == 100
+
+
+def test_dbb_chunked_into_lines():
+    log = TraceLog()
+    log.log_dbb(0, 0x1000, bytes(200), True)
+    assert len(log.dbb) == 4  # 64+64+64+8
+    assert log.dbb[1].address == 0x1040
+
+
+def test_parse_skips_unrelated_lines():
+    text = "hello world\n5 nvdla.csb_adaptor: addr=0x00000000 data=0x00000001 iswrite=1\n"
+    log = parse_trace(text)
+    assert len(log.csb) == 1
+
+
+def test_parse_rejects_malformed_adaptor_line():
+    with pytest.raises(TraceError):
+        parse_trace("5 nvdla.csb_adaptor: addr=xyz\n")
+    with pytest.raises(TraceError):
+        parse_trace("5 nvdla.dbb_adaptor: addr=0x0 len=4 iswrite=0 data=aa\n")
+
+
+def test_transactions_preserve_order():
+    log = TraceLog()
+    log.log_csb(1, 0x0, 0, True)
+    log.log_dbb(2, 0x100, b"\x01", False)
+    log.log_csb(3, 0x4, 1, True)
+    kinds = [type(t).__name__ for t in log.transactions()]
+    assert kinds == ["CsbTransaction", "DbbTransaction", "CsbTransaction"]
+
+
+# ----------------------------------------------------------------------
+# Platform + runtime.
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def lenet_run():
+    net = lenet5()
+    loadable = compile_network(net, NV_SMALL)
+    platform = VirtualPlatform(NV_SMALL)
+    runtime = NvdlaRuntime(platform)
+    runtime.deploy(loadable)
+    rng = np.random.default_rng(42)
+    image = rng.uniform(-1, 1, net.input_shape).astype(np.float32)
+    runtime.set_input(image)
+    result = runtime.execute()
+    return net, loadable, platform, image, result
+
+
+def test_runtime_executes_all_hw_ops(lenet_run):
+    _, loadable, _, _, result = lenet_run
+    assert result.ops == loadable.hw_op_count()
+    assert result.cycles > 0
+
+
+def test_runtime_output_close_to_float_reference(lenet_run):
+    net, _, _, image, result = lenet_run
+    executor = ReferenceExecutor(net)
+    executor.run(image, record_blobs=True)
+    expected = executor.blobs["ip2"]
+    error = np.abs(result.output - expected).max()
+    assert error <= 0.08 * np.abs(expected).max() + 1e-3  # INT8 tolerance
+
+
+def test_runtime_softmax_normalised(lenet_run):
+    _, _, _, _, result = lenet_run
+    assert result.probabilities is not None
+    assert result.probabilities.sum() == pytest.approx(1.0, abs=1e-5)
+
+
+def test_trace_contains_interrupt_protocol(lenet_run):
+    _, loadable, platform, _, result = lenet_run
+    from repro.nvdla.csb import UNIT_BASES
+    from repro.nvdla.units.glb import INTR_STATUS
+
+    status_addr = UNIT_BASES["GLB"] + INTR_STATUS
+    reads = [t for t in platform.trace.csb if not t.iswrite and t.address == status_addr]
+    clears = [t for t in platform.trace.csb if t.iswrite and t.address == status_addr]
+    assert len(reads) == loadable.hw_op_count()
+    assert len(clears) == loadable.hw_op_count()
+    for read, clear in zip(reads, clears):
+        assert read.data == clear.data  # W1C acknowledges what was read
+
+
+def test_trace_alternates_pingpong_groups(lenet_run):
+    _, _, platform, _, _ = lenet_run
+    from repro.nvdla.csb import UNIT_BASES
+    from repro.nvdla.registers import S_POINTER
+
+    pdp_pointer = UNIT_BASES["PDP"] + S_POINTER
+    writes = [t.data for t in platform.trace.csb if t.iswrite and t.address == pdp_pointer]
+    assert writes == [1, 1]  # lenet pools land on group 1 both times (ops 2 & 4)
+
+
+def test_fp16_run_matches_reference_closely(rng, tiny_net):
+    loadable = compile_network(tiny_net, NV_FULL, CompileOptions(precision=Precision.FP16))
+    platform = VirtualPlatform(NV_FULL)
+    runtime = NvdlaRuntime(platform)
+    runtime.deploy(loadable)
+    image = rng.uniform(-1, 1, tiny_net.input_shape).astype(np.float32)
+    runtime.set_input(image)
+    result = runtime.execute()
+    executor = ReferenceExecutor(tiny_net)
+    executor.run(image, record_blobs=True)
+    expected = executor.blobs["fc1"]
+    assert np.allclose(result.output, expected, rtol=0.05, atol=0.05)
+    assert int(np.argmax(result.output)) == int(np.argmax(expected))
+
+
+def test_deploy_rejects_config_mismatch(tiny_net):
+    loadable = compile_network(tiny_net, NV_SMALL)
+    platform = VirtualPlatform(NV_FULL)
+    runtime = NvdlaRuntime(platform)
+    with pytest.raises(TraceError):
+        runtime.deploy(loadable)
+
+
+def test_set_input_validates_shape(tiny_net):
+    loadable = compile_network(tiny_net, NV_SMALL)
+    platform = VirtualPlatform(NV_SMALL)
+    runtime = NvdlaRuntime(platform)
+    runtime.deploy(loadable)
+    with pytest.raises(TraceError):
+        runtime.set_input(np.zeros((2, 8, 8), dtype=np.float32))
+
+
+def test_execute_without_deploy_rejected():
+    runtime = NvdlaRuntime(VirtualPlatform(NV_SMALL))
+    with pytest.raises(TraceError):
+        runtime.execute()
+
+
+def test_timing_fidelity_produces_trace_without_dbb_data(tiny_net):
+    loadable = compile_network(tiny_net, NV_SMALL)
+    platform = VirtualPlatform(NV_SMALL, fidelity="timing")
+    runtime = NvdlaRuntime(platform)
+    runtime.deploy(loadable)
+    runtime.set_input(np.zeros(tiny_net.input_shape, dtype=np.float32))
+    result = runtime.execute()
+    assert result.ops == loadable.hw_op_count()
+    assert len(platform.trace.csb) > 0
+    assert len(platform.trace.dbb) == 0  # no functional traffic
+
+
+def test_wait_for_interrupt_deadlock_detected():
+    platform = VirtualPlatform(NV_SMALL)
+    with pytest.raises(TraceError):
+        platform.wait_for_interrupt()
