@@ -50,8 +50,10 @@ def main() -> None:
     net = from_prototxt(PROTOTXT, seed=77)
     print(net.summary())
 
+    from repro.serve import make_input_for
+
     rng = np.random.default_rng(1)
-    image = rng.uniform(-1.0, 1.0, net.input_shape).astype(np.float32)
+    image = make_input_for(net, rng)
 
     print("\nrunning the offline flow (compile -> VP -> assembly)...")
     bundle = generate_baremetal(net, NV_SMALL, input_image=image)

@@ -33,8 +33,10 @@ def main() -> None:
     table = calibrate_network(net, samples=4)
     print(f"  {len(table.scales)} blob scales, e.g. data={table.scales['data']:.4f}")
 
+    from repro.serve import make_input_for
+
     rng = np.random.default_rng(99)
-    image = rng.uniform(-1.0, 1.0, net.input_shape).astype(np.float32)
+    image = make_input_for(net, rng)
     bundle = generate_baremetal(net, NV_SMALL, input_image=image)
 
     soc = Soc(NV_SMALL, frequency_hz=100e6)

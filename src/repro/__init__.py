@@ -40,13 +40,13 @@ def quick_inference(model: str = "lenet5", config_name: str = "nv_small", fideli
     Returns the :class:`~repro.core.soc.SocRunResult` of the bare-metal
     run.  See ``examples/quickstart.py`` for the expanded version.
     """
-    from repro.baremetal import generate_baremetal
     from repro.core import Soc
-    from repro.nn.zoo import ZOO
     from repro.nvdla.config import get_config
+    from repro.serve import shared_cache
 
     config = get_config(config_name)
-    bundle = generate_baremetal(ZOO[model](), config, fidelity=fidelity)
+    # The shared cache makes repeated quick_inference calls cheap.
+    bundle = shared_cache().bundle_for(model, config, fidelity=fidelity)
     soc = Soc(config, fidelity=fidelity)
     soc.load_bundle(bundle)
     return soc.run_inference(bundle)

@@ -12,7 +12,8 @@ any stage, and the SoC model consumes the final images directly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+from dataclasses import dataclass, field, fields
 
 import numpy as np
 
@@ -25,6 +26,7 @@ from repro.compiler import CompileOptions, compile_network
 from repro.compiler.loadable import Loadable
 from repro.errors import CodegenError
 from repro.nn.graph import Network
+from repro.nn.quantize import CalibrationTable
 from repro.nvdla.config import HardwareConfig, Precision
 from repro.riscv.assembler import assemble
 from repro.riscv.program import Program
@@ -58,6 +60,26 @@ class BaremetalBundle:
                 f"({self.precision.value})"
             ),
         )
+
+    def artifact_digest(self) -> str:
+        """SHA-256 over every deployable artefact of the bundle.
+
+        Two bundles with equal digests produce bit-identical SoC runs:
+        the digest covers the machine code, the register command
+        sequence and every preload image (name, load address, bytes).
+        The serve tests use it to prove that independent builds of one
+        deployment key are exact replicas of each other.
+        """
+        h = hashlib.sha256()
+        h.update(self.program.to_bytes())
+        h.update(self.program.base.to_bytes(8, "little"))
+        for command in self.commands:
+            h.update(command.render().encode())
+        for image in self.images.preload:
+            h.update(image.name.encode())
+            h.update(image.load_address.to_bytes(8, "little"))
+            h.update(image.data)
+        return h.hexdigest()
 
     def describe(self) -> str:
         lines = [
@@ -137,6 +159,70 @@ def generate_baremetal(
         input_image=input_image,
         fidelity=fidelity,
         notes={"tiling": loadable.tiling_summary},
+    )
+
+
+def options_fingerprint(options: object | None) -> str:
+    """Stable short digest of a (frozen) options dataclass.
+
+    Field values are serialised by name in declaration order, so two
+    option objects that would drive the flow identically fingerprint
+    identically, and ``None`` (meaning "all defaults") fingerprints the
+    same as an explicitly default-constructed object of either options
+    type used by :func:`generate_baremetal`.
+    """
+    if options is None:
+        return "defaults"
+    try:
+        if options == type(options)():
+            return "defaults"
+    except TypeError:
+        pass  # options types with required fields have no bare default
+    parts: list[str] = [type(options).__name__]
+    for f in fields(options):
+        value = getattr(options, f.name)
+        if isinstance(value, CalibrationTable):
+            value = hashlib.sha256(value.to_text().encode()).hexdigest()[:16]
+        parts.append(f"{f.name}={value!r}")
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()[:16]
+
+
+def bundle_cache_key(
+    network: str,
+    config: HardwareConfig | str,
+    precision: Precision,
+    fidelity: str = "functional",
+    compile_options: CompileOptions | None = None,
+    codegen_options: CodegenOptions | None = None,
+    seed: int = 2024,
+) -> tuple:
+    """The memoisation key of one unique deployment.
+
+    Everything that changes the generated artefacts is part of the key;
+    notably the *input image* is NOT — the generated program is
+    input-independent (only ``input.bin`` changes), which is what lets
+    the serving layer replay one bundle for many requests.  ``seed``
+    covers the calibration input baked into the trace.
+    """
+    # None and a default-constructed options object generate identical
+    # artefacts, so collapse both onto one fingerprint.
+    if compile_options is not None and compile_options == CompileOptions(
+        precision=compile_options.precision
+    ):
+        compile_options = None
+    if codegen_options == CodegenOptions():
+        codegen_options = None
+    compile_fp = options_fingerprint(compile_options)
+    if compile_options is None:
+        compile_fp = f"defaults:{precision.value}"
+    return (
+        network,
+        config.name if isinstance(config, HardwareConfig) else config,
+        precision.value,
+        fidelity,
+        compile_fp,
+        options_fingerprint(codegen_options),
+        seed,
     )
 
 

@@ -6,6 +6,8 @@ Exposes the flows a downstream user runs most::
     python -m repro run --model lenet5 --config nv_small
     python -m repro flow --model lenet5 --out artifacts/
     python -m repro table1 | table2 | table3
+    python -m repro serve --models lenet5,resnet18 --requests 32
+    python -m repro bench-serve --requests 8
     python -m repro synth --config nv_full
     python -m repro sanity --trace conv
 """
@@ -124,6 +126,109 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     return 0 if result.fits else 2
 
 
+def _build_workload(args: argparse.Namespace):
+    """Round-robin mixed-model request list from the CLI options."""
+    import numpy as np
+
+    from repro.nn.zoo import ZOO
+    from repro.serve import DeploymentSpec, make_input_for
+
+    models = [m.strip() for m in args.models.split(",") if m.strip()]
+    if not models:
+        raise SystemExit("--models needs at least one zoo model")
+    unknown = [m for m in models if m not in ZOO]
+    if unknown:
+        raise SystemExit(f"unknown zoo model(s) {unknown}; known: {sorted(ZOO)}")
+    deployments = [
+        DeploymentSpec(
+            model,
+            config=args.config,
+            precision=Precision(args.precision),
+            fidelity=args.fidelity,
+        )
+        for model in models
+    ]
+    rng = np.random.default_rng(args.seed)
+    # Build each zoo network once per deployment, not once per request
+    # (instantiation initialises every weight tensor).
+    nets = {d.model: ZOO[d.model]() for d in deployments}
+    workload = []
+    for index in range(args.requests):
+        deployment = deployments[index % len(deployments)]
+        workload.append((deployment, make_input_for(nets[deployment.model], rng)))
+    return workload
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import InferenceService
+
+    service = InferenceService(
+        max_batch_size=args.batch_size, workers_per_key=args.workers
+    )
+    workload = _build_workload(args)
+    print(
+        f"serving {len(workload)} requests over "
+        f"{len({d for d, _ in workload})} deployment(s) on {args.config}..."
+    )
+    for deployment, image in workload:
+        service.request(deployment, image)
+    responses = service.run_pending()
+    failures = [r for r in responses if not r.ok]
+    print(service.metrics.render())
+    if failures:
+        print(f"FAILED requests: {[r.request_id for r in failures]}")
+    return 1 if failures else 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    """Cold per-request flow vs the cached service, head to head."""
+    import time
+
+    from repro.baremetal import generate_baremetal
+    from repro.core import Soc
+    from repro.nn.zoo import ZOO
+    from repro.serve import InferenceService
+
+    workload = _build_workload(args)
+    config = get_config(args.config)
+
+    began = time.perf_counter()
+    for deployment, image in workload:
+        bundle = generate_baremetal(
+            ZOO[deployment.model](),
+            config,
+            precision=deployment.precision,
+            fidelity=deployment.fidelity,
+            input_image=image,
+        )
+        soc = Soc(config, fidelity=deployment.fidelity)
+        soc.load_bundle(bundle)
+        if not soc.run_inference(bundle).ok:
+            print("cold-path run failed")
+            return 1
+    cold = time.perf_counter() - began
+
+    service = InferenceService(
+        max_batch_size=args.batch_size, workers_per_key=args.workers
+    )
+    began = time.perf_counter()
+    for deployment, image in workload:
+        service.request(deployment, image)
+    responses = service.run_pending()
+    warm = time.perf_counter() - began
+    if any(not r.ok for r in responses):
+        print("served run failed")
+        return 1
+
+    n = len(workload)
+    print(f"cold path (per-request offline flow): {cold:.2f} s  ({n / cold:.2f} req/s)")
+    print(f"served    (bundle cache + reuse):     {warm:.2f} s  ({n / warm:.2f} req/s)")
+    print(f"speedup: {cold / warm:.1f}x")
+    print()
+    print(service.metrics.render())
+    return 0
+
+
 def _cmd_sanity(args: argparse.Namespace) -> int:
     from repro.baremetal.sanity import ALL_TRACES, run_on_soc
     from repro.core import Soc
@@ -168,6 +273,21 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--config", default="nv_small", choices=sorted(CONFIGS))
     synth.add_argument("--device", default="ZCU102")
 
+    for name, help_text in (
+        ("serve", "serve a mixed-model request workload"),
+        ("bench-serve", "cached service vs per-request flow, head to head"),
+    ):
+        serve = sub.add_parser(name, help=help_text)
+        serve.add_argument("--models", default="lenet5,resnet18",
+                           help="comma-separated zoo models")
+        serve.add_argument("--config", default="nv_small", choices=sorted(CONFIGS))
+        serve.add_argument("--precision", default="int8", choices=[p.value for p in Precision])
+        serve.add_argument("--fidelity", default="functional", choices=["functional", "timing"])
+        serve.add_argument("--requests", type=int, default=16)
+        serve.add_argument("--batch-size", type=int, default=8)
+        serve.add_argument("--workers", type=int, default=1)
+        serve.add_argument("--seed", type=int, default=7)
+
     sanity = sub.add_parser("sanity", help="run the NVDLA sanity test traces")
     sanity.add_argument("--trace", default=None)
     sanity.add_argument("--config", default="nv_small", choices=sorted(CONFIGS))
@@ -190,6 +310,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_table(args, int(args.command[-1]))
     if args.command == "synth":
         return _cmd_synth(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "bench-serve":
+        return _cmd_bench_serve(args)
     if args.command == "sanity":
         return _cmd_sanity(args)
     if args.command == "report":

@@ -20,7 +20,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.baremetal.codegen import MAGIC_DONE, MAGIC_FAIL, STATUS_FAIL_ADDR, STATUS_FAIL_INDEX, STATUS_RESULT
+from repro.baremetal.codegen import (
+    MAGIC_DONE,
+    MAGIC_FAIL,
+    STATUS_CYCLES_HI,
+    STATUS_FAIL_ADDR,
+    STATUS_FAIL_INDEX,
+    STATUS_RESULT,
+)
 from repro.baremetal.pipeline import BaremetalBundle
 from repro.bus.ahb import AhbLiteBus
 from repro.bus.bridges import AhbToAxiBridge
@@ -122,6 +129,34 @@ class Soc:
     # ------------------------------------------------------------------
     # Loading.
     # ------------------------------------------------------------------
+
+    def reset_for_run(
+        self, scrub_dram: bool = True, keep_fetch_cache: bool = False
+    ) -> None:
+        """Return the SoC to its power-on state so it can be reused.
+
+        The serving layer keeps SoC instances alive across requests
+        (building one costs far more than running one), so between
+        inferences the clock, CPU, engine and statistics must all go
+        back to cycle zero.  With ``scrub_dram`` the data memory is
+        cleared too, which makes a reused SoC bit-identical to a
+        freshly constructed one; callers that are about to reload the
+        same preload images may skip the scrub to save the rewrite, and
+        callers replaying the *same program* may keep the CPU fetch
+        cache (see :meth:`repro.riscv.cpu.Cpu.reset`).
+        """
+        self.clock.reset()
+        self.wrapper.engine.reset()
+        self.cpu.reset(keep_fetch_cache=keep_fetch_cache)
+        self.dram.stats = type(self.dram.stats)()
+        self.dram._open_rows.clear()
+        self.arbiter.stats = type(self.arbiter.stats)()
+        if scrub_dram:
+            self.dram.storage.clear()
+        else:
+            # At minimum invalidate the status page so a stale DONE
+            # word cannot leak into the next run's result decode.
+            self.dram.storage.write(0, bytes(STATUS_CYCLES_HI + 4))
 
     def load_program(self, program: Program) -> None:
         self.program_memory.load_image(program.to_bytes(), base=program.base)

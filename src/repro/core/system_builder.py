@@ -124,7 +124,14 @@ class TestSystem:
         self.preload_result: PreloadResult | None = None
 
     def run_experiment(self, bundle: BaremetalBundle) -> SocRunResult:
-        """Preload via the Zynq, hand DRAM to the SoC, run inference."""
+        """Preload via the Zynq, hand DRAM to the SoC, run inference.
+
+        Reusable: each experiment starts from SoC power-on state (the
+        serving layer and sweeps run many bundles through one system),
+        then replays the published procedure — Zynq preload, flip the
+        SmartConnect, release the CPU.
+        """
+        self.soc.reset_for_run(scrub_dram=True)
         images = [(img.load_address, img.data) for img in bundle.images.preload]
         self.preload_result = self.zynq.preload(images)
         self.smartconnect.select("soc")

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.baremetal import generate_baremetal
 from repro.baremetal.pipeline import BaremetalBundle
 from repro.baseline.esp_platform import ESP_PUBLISHED_MS, EspPlatform
 from repro.core import Soc, TestSystem
@@ -42,8 +41,19 @@ def _bundle_for(
     precision: Precision,
     fidelity: str,
 ) -> tuple[Network, BaremetalBundle]:
+    """Build (or fetch) a deployment's artefacts via the shared cache.
+
+    Tables, figures and ablations frequently revisit the same
+    (model, config, precision, fidelity) points; routing them through
+    :func:`repro.serve.shared_cache` makes each point pay the offline
+    flow once per process.
+    """
+    from repro.serve import shared_cache
+
     net = ZOO[model]()
-    bundle = generate_baremetal(net, config, precision=precision, fidelity=fidelity)
+    bundle = shared_cache().bundle_for(
+        model, config, precision=precision, fidelity=fidelity
+    )
     return net, bundle
 
 

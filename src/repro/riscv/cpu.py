@@ -111,7 +111,14 @@ class Cpu:
     # Control.
     # ------------------------------------------------------------------
 
-    def reset(self) -> None:
+    def reset(self, keep_fetch_cache: bool = False) -> None:
+        """Return to the reset state.
+
+        ``keep_fetch_cache`` is timing-safe only when program memory is
+        unchanged since the cache was filled: cached fetches return the
+        exact (word, wait) pair the bus produced, so replaying the same
+        program yields identical cycles either way.
+        """
         self.regs = [0] * 32
         self.pc = self.reset_pc
         self.halted = False
@@ -120,7 +127,8 @@ class Cpu:
         self.instret = 0
         self.pipeline.reset()
         self.poll.reset()
-        self._fetch_cache.clear()
+        if not keep_fetch_cache:
+            self._fetch_cache.clear()
 
     def state(self) -> CpuState:
         return CpuState(

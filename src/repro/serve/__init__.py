@@ -1,0 +1,46 @@
+"""Batched inference serving on top of the bare-metal flow.
+
+The subsystem the ROADMAP's "production-scale" north star asks for:
+many requests, across models/configs/precisions, served from memoised
+bare-metal artefacts on a pool of reusable simulated SoCs.
+
+- :class:`BundleCache` — the offline flow runs once per deployment.
+- :class:`RequestScheduler` — fair per-deployment batching.
+- :class:`WorkerPool` / :class:`SocWorker` — SoC reuse across runs.
+- :class:`InferenceService` — the facade; :class:`ServiceMetrics` for
+  throughput / latency percentiles / hit rates.
+"""
+
+from repro.serve.cache import BundleCache, BundleCacheStats, shared_cache
+from repro.serve.metrics import LatencySummary, ServiceMetrics, percentile
+from repro.serve.request import (
+    DeploymentSpec,
+    InferenceRequest,
+    InferenceResponse,
+    make_input,
+    make_input_for,
+)
+from repro.serve.scheduler import Batch, RequestScheduler
+from repro.serve.service import InferenceService
+from repro.serve.workers import SocWorker, WorkerPool, hardware_key, pack_input_image
+
+__all__ = [
+    "Batch",
+    "BundleCache",
+    "BundleCacheStats",
+    "DeploymentSpec",
+    "InferenceRequest",
+    "InferenceResponse",
+    "InferenceService",
+    "LatencySummary",
+    "RequestScheduler",
+    "ServiceMetrics",
+    "SocWorker",
+    "WorkerPool",
+    "hardware_key",
+    "make_input",
+    "make_input_for",
+    "pack_input_image",
+    "percentile",
+    "shared_cache",
+]

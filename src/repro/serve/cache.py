@@ -1,0 +1,127 @@
+"""Memoisation of the offline flow (compile → trace → codegen).
+
+Building a :class:`~repro.baremetal.pipeline.BaremetalBundle` costs
+seconds (compilation, VP execution, assembly); running one on the SoC
+model costs milliseconds for the small models.  The cache keys bundles
+on everything that changes the generated artefacts — see
+:func:`repro.baremetal.pipeline.bundle_cache_key` — so a deployment is
+built exactly once no matter how many requests hit it.
+
+Entries are kept LRU; the default capacity comfortably holds every
+(zoo model × config × precision) point, but a bound exists so a
+design-space sweep cannot grow host memory without limit.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.baremetal.codegen import CodegenOptions
+from repro.baremetal.pipeline import BaremetalBundle, bundle_cache_key, generate_baremetal
+from repro.compiler import CompileOptions
+from repro.errors import ReproError
+from repro.nn.zoo import ZOO
+from repro.nvdla.config import HardwareConfig, Precision, get_config
+
+
+@dataclass
+class BundleCacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    build_seconds: float = 0.0  # total time spent building on misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class BundleCache:
+    """LRU cache of built bundles, keyed by deployment."""
+
+    def __init__(self, max_entries: int = 32) -> None:
+        if max_entries <= 0:
+            raise ReproError("cache needs at least one entry")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[tuple, BaremetalBundle]" = OrderedDict()
+        self.stats = BundleCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def lookup(self, key: tuple) -> BaremetalBundle | None:
+        """Peek without counting a miss (counts a hit when present)."""
+        bundle = self._entries.get(key)
+        if bundle is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+        return bundle
+
+    def get_or_build(
+        self, key: tuple, build: Callable[[], BaremetalBundle]
+    ) -> BaremetalBundle:
+        bundle = self._entries.get(key)
+        if bundle is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return bundle
+        self.stats.misses += 1
+        began = time.perf_counter()
+        bundle = build()
+        self.stats.build_seconds += time.perf_counter() - began
+        self._entries[key] = bundle
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return bundle
+
+    def bundle_for(
+        self,
+        model: str,
+        config: HardwareConfig | str,
+        precision: Precision = Precision.INT8,
+        fidelity: str = "functional",
+        compile_options: CompileOptions | None = None,
+        codegen_options: CodegenOptions | None = None,
+        seed: int = 2024,
+    ) -> BaremetalBundle:
+        """Zoo-model convenience front end over :meth:`get_or_build`."""
+        if model not in ZOO:
+            raise ReproError(f"unknown zoo model {model!r} (known: {sorted(ZOO)})")
+        hw = get_config(config) if isinstance(config, str) else config
+        key = bundle_cache_key(
+            model, hw, precision, fidelity, compile_options, codegen_options, seed
+        )
+        return self.get_or_build(
+            key,
+            lambda: generate_baremetal(
+                ZOO[model](),
+                hw,
+                precision=precision,
+                fidelity=fidelity,
+                compile_options=compile_options,
+                codegen_options=codegen_options,
+                seed=seed,
+            ),
+        )
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+_SHARED: BundleCache | None = None
+
+
+def shared_cache() -> BundleCache:
+    """The process-wide cache (harness + CLI + examples share builds)."""
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = BundleCache()
+    return _SHARED

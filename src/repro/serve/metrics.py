@@ -1,0 +1,104 @@
+"""Service-level metrics: throughput, latency percentiles, hit rates.
+
+Latency is tracked on both timescales: *wall* seconds (host time to
+serve a request, the number the cache is trying to shrink) and
+*simulated* cycles (what the modelled SoC would take, the number the
+paper reports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]); 0.0 for no samples."""
+    if not samples:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile {q} out of range")
+    ordered = sorted(samples)
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil(n*q/100), >= 1
+    return ordered[int(rank) - 1]
+
+
+@dataclass
+class LatencySummary:
+    """p50/p99/mean/max over one series of samples."""
+
+    count: int
+    mean: float
+    p50: float
+    p99: float
+    max: float
+
+    @classmethod
+    def of(cls, samples: list[float]) -> "LatencySummary":
+        if not samples:
+            return cls(count=0, mean=0.0, p50=0.0, p99=0.0, max=0.0)
+        return cls(
+            count=len(samples),
+            mean=sum(samples) / len(samples),
+            p50=percentile(samples, 50),
+            p99=percentile(samples, 99),
+            max=max(samples),
+        )
+
+
+@dataclass
+class ServiceMetrics:
+    """Counters accumulated across a service lifetime."""
+
+    requests: int = 0
+    failures: int = 0
+    batches: int = 0
+    bundle_hits: int = 0
+    bundle_misses: int = 0
+    workers_created: int = 0
+    workers_reused: int = 0
+    wall_seconds_total: float = 0.0  # busy time inside workers
+    elapsed_seconds: float = 0.0  # end-to-end serve() time
+    wall_latencies: list[float] = field(default_factory=list)
+    cycle_latencies: list[float] = field(default_factory=list)
+
+    def record(self, wall_seconds: float, cycles: int, ok: bool) -> None:
+        self.requests += 1
+        if not ok:
+            self.failures += 1
+        self.wall_latencies.append(wall_seconds)
+        self.cycle_latencies.append(float(cycles))
+        self.wall_seconds_total += wall_seconds
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.bundle_hits + self.bundle_misses
+        return self.bundle_hits / total if total else 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per wall-clock second of serving."""
+        elapsed = self.elapsed_seconds or self.wall_seconds_total
+        return self.requests / elapsed if elapsed else 0.0
+
+    def wall_summary(self) -> LatencySummary:
+        return LatencySummary.of(self.wall_latencies)
+
+    def cycle_summary(self) -> LatencySummary:
+        return LatencySummary.of(self.cycle_latencies)
+
+    def render(self) -> str:
+        wall = self.wall_summary()
+        cyc = self.cycle_summary()
+        lines = [
+            f"requests: {self.requests} ({self.failures} failed) "
+            f"in {self.batches} batches",
+            f"throughput: {self.throughput_rps:.2f} req/s "
+            f"(elapsed {self.elapsed_seconds:.2f} s)",
+            f"bundle cache: {self.bundle_hits} hits / {self.bundle_misses} misses "
+            f"({self.cache_hit_rate * 100:.0f}% hit rate)",
+            f"workers: {self.workers_created} created, {self.workers_reused} reuses",
+            f"wall latency: p50 {wall.p50 * 1e3:.1f} ms  p99 {wall.p99 * 1e3:.1f} ms  "
+            f"max {wall.max * 1e3:.1f} ms",
+            f"SoC latency: p50 {cyc.p50:,.0f} cycles  p99 {cyc.p99:,.0f} cycles",
+        ]
+        return "\n".join(lines)

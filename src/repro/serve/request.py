@@ -1,0 +1,90 @@
+"""Request/response types of the inference service.
+
+A request names a *deployment* — the (model, config, precision,
+fidelity) point whose bare-metal artefacts the service memoises — plus
+the per-request input image.  The response carries both wall-clock and
+simulated-cycle latency, so the service metrics can report the two
+timescales the paper distinguishes (host simulation speed vs SoC
+latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.nn.graph import Network
+from repro.nvdla.config import Precision
+
+
+def make_input(shape: tuple[int, int, int], rng: np.random.Generator) -> np.ndarray:
+    """Draw one input image from a caller-owned seeded generator.
+
+    Every example, benchmark and test that fabricates inputs goes
+    through this helper with a single ``Generator`` instance, so a
+    whole workload is reproducible from one seed.
+    """
+    return rng.uniform(-1.0, 1.0, size=shape).astype(np.float32)
+
+
+def make_input_for(net: Network, rng: np.random.Generator) -> np.ndarray:
+    return make_input(net.input_shape, rng)
+
+
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """One unique (model, hardware, precision) service target."""
+
+    model: str
+    config: str = "nv_small"
+    precision: Precision = Precision.INT8
+    fidelity: str = "functional"
+    frequency_hz: float = 100e6
+    memory_bus_width_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if self.fidelity not in ("functional", "timing"):
+            raise ReproError(f"unknown fidelity {self.fidelity!r}")
+
+    def describe(self) -> str:
+        return (
+            f"{self.model}/{self.config}/{self.precision.value}"
+            f"@{self.frequency_hz / 1e6:g}MHz"
+        )
+
+
+@dataclass
+class InferenceRequest:
+    """One queued inference."""
+
+    request_id: int
+    deployment: DeploymentSpec
+    input_image: np.ndarray | None = None  # None = service synthesises one
+    arrival_order: int = 0  # filled by the scheduler on submit
+
+    @property
+    def model(self) -> str:
+        return self.deployment.model
+
+
+@dataclass
+class InferenceResponse:
+    """Outcome of one served inference."""
+
+    request_id: int
+    deployment: DeploymentSpec
+    ok: bool
+    output: np.ndarray | None
+    cycles: int
+    sim_seconds: float  # simulated SoC time
+    wall_seconds: float  # host time spent inside the worker run
+    cache_hit: bool
+    worker_id: int
+    batch_id: int  # which scheduler batch dispatched this request
+    notes: dict = field(default_factory=dict)
+
+    @property
+    def sim_milliseconds(self) -> float:
+        return self.sim_seconds * 1e3

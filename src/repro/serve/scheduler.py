@@ -1,0 +1,81 @@
+"""Request batching with cross-deployment fairness.
+
+Requests are queued FIFO, then drained as per-deployment *batches*: a
+batch shares one bundle and one worker, so batching amortises program
+and weight preloads.  Batch dispatch round-robins across deployments
+(ordered by their oldest pending request), which keeps a deployment
+with a deep backlog from starving the others — the fairness property
+`tests/serve/test_scheduler.py` pins down.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.serve.request import DeploymentSpec, InferenceRequest
+
+
+@dataclass
+class Batch:
+    """A run of same-deployment requests dispatched together."""
+
+    batch_id: int
+    deployment: DeploymentSpec
+    requests: list[InferenceRequest] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+class RequestScheduler:
+    """FIFO intake, fair round-robin per-deployment batch output."""
+
+    def __init__(self, max_batch_size: int = 8) -> None:
+        if max_batch_size <= 0:
+            raise ReproError("batch size must be positive")
+        self.max_batch_size = max_batch_size
+        # Deployment → FIFO of its pending requests; the dict itself is
+        # ordered by first-seen deployment, giving the round-robin ring.
+        self._queues: "OrderedDict[DeploymentSpec, list[InferenceRequest]]" = OrderedDict()
+        self._arrivals = 0
+        self._batches = 0
+
+    def submit(self, request: InferenceRequest) -> None:
+        request.arrival_order = self._arrivals
+        self._arrivals += 1
+        self._queues.setdefault(request.deployment, []).append(request)
+
+    def pending(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def next_batch(self) -> Batch | None:
+        """Pop one batch from the deployment whose turn it is.
+
+        The ring advances even when a deployment still has backlog:
+        after serving up to ``max_batch_size`` of its requests, the
+        deployment moves to the back of the ring.
+        """
+        while self._queues:
+            deployment, queue = next(iter(self._queues.items()))
+            if not queue:
+                del self._queues[deployment]
+                continue
+            taken = queue[: self.max_batch_size]
+            del queue[: len(taken)]
+            if queue:
+                self._queues.move_to_end(deployment)
+            else:
+                del self._queues[deployment]
+            batch = Batch(self._batches, deployment, taken)
+            self._batches += 1
+            return batch
+        return None
+
+    def drain(self) -> list[Batch]:
+        """All pending requests as a fair batch sequence."""
+        batches: list[Batch] = []
+        while (batch := self.next_batch()) is not None:
+            batches.append(batch)
+        return batches

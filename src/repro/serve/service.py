@@ -1,0 +1,130 @@
+"""The inference service: cache + scheduler + worker pool + metrics.
+
+One synchronous facade over the serving pipeline::
+
+    service = InferenceService()
+    service.submit(InferenceRequest(0, DeploymentSpec("lenet5"), image))
+    responses = service.run_pending()
+    print(service.metrics.render())
+
+Each unique deployment pays the offline flow (compile → VP trace →
+codegen) once, on first touch; every later request replays the cached
+artefacts on a pooled SoC worker, which is orders of magnitude cheaper.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.baremetal.pipeline import BaremetalBundle
+from repro.serve.cache import BundleCache
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.request import (
+    DeploymentSpec,
+    InferenceRequest,
+    InferenceResponse,
+    make_input,
+)
+from repro.serve.scheduler import Batch, RequestScheduler
+from repro.serve.workers import WorkerPool
+
+
+class InferenceService:
+    """Serves batched inference requests across models and configs."""
+
+    def __init__(
+        self,
+        cache: BundleCache | None = None,
+        max_batch_size: int = 8,
+        workers_per_key: int = 1,
+        input_seed: int = 7,
+    ) -> None:
+        self.cache = cache or BundleCache()
+        self.scheduler = RequestScheduler(max_batch_size=max_batch_size)
+        self.pool = WorkerPool(workers_per_key=workers_per_key)
+        self.metrics = ServiceMetrics()
+        # One seeded generator for every input the service synthesises,
+        # so a whole service run is reproducible end to end.
+        self.rng = np.random.default_rng(input_seed)
+        self._next_request_id = 0
+
+    # ------------------------------------------------------------------
+    # Intake.
+    # ------------------------------------------------------------------
+
+    def submit(self, request: InferenceRequest) -> None:
+        self.scheduler.submit(request)
+
+    def request(
+        self, deployment: DeploymentSpec, input_image: np.ndarray | None = None
+    ) -> InferenceRequest:
+        """Build, submit and return a request with a fresh id."""
+        request = InferenceRequest(self._next_request_id, deployment, input_image)
+        self._next_request_id += 1
+        self.submit(request)
+        return request
+
+    # ------------------------------------------------------------------
+    # Serving.
+    # ------------------------------------------------------------------
+
+    def bundle_for(self, deployment: DeploymentSpec) -> tuple[BaremetalBundle, bool]:
+        """The deployment's memoised artefacts; True when cache-hit."""
+        misses_before = self.cache.stats.misses
+        bundle = self.cache.bundle_for(
+            deployment.model,
+            deployment.config,
+            precision=deployment.precision,
+            fidelity=deployment.fidelity,
+        )
+        hit = self.cache.stats.misses == misses_before
+        if hit:
+            self.metrics.bundle_hits += 1
+        else:
+            self.metrics.bundle_misses += 1
+        return bundle, hit
+
+    def _serve_batch(self, batch: Batch) -> list[InferenceResponse]:
+        bundle, cache_hit = self.bundle_for(batch.deployment)
+        worker = self.pool.worker_for(batch.deployment)
+        responses: list[InferenceResponse] = []
+        for request in batch.requests:
+            image = request.input_image
+            if image is None and batch.deployment.fidelity == "functional":
+                shape = bundle.loadable.input_tensor.shape
+                image = make_input(shape, self.rng)
+            began = time.perf_counter()
+            result = worker.run(bundle, input_image=image)
+            wall = time.perf_counter() - began
+            worker.stats.busy_seconds += wall
+            self.metrics.record(wall, result.cycles, result.ok)
+            responses.append(
+                InferenceResponse(
+                    request_id=request.request_id,
+                    deployment=batch.deployment,
+                    ok=result.ok,
+                    output=result.output,
+                    cycles=result.cycles,
+                    sim_seconds=result.seconds,
+                    wall_seconds=wall,
+                    cache_hit=cache_hit,
+                    worker_id=worker.worker_id,
+                    batch_id=batch.batch_id,
+                )
+            )
+            cache_hit = True  # later requests of the batch reuse the bundle
+        self.metrics.batches += 1
+        return responses
+
+    def run_pending(self) -> list[InferenceResponse]:
+        """Drain the queue fairly; returns responses in dispatch order."""
+        began = time.perf_counter()
+        responses: list[InferenceResponse] = []
+        while (batch := self.scheduler.next_batch()) is not None:
+            responses.extend(self._serve_batch(batch))
+        self.metrics.elapsed_seconds += time.perf_counter() - began
+        self.metrics.workers_created = self.pool.created
+        self.metrics.workers_reused = self.pool.reused
+        return responses

@@ -1,0 +1,65 @@
+"""Golden-trace regression: the LeNet-5/nv_small configuration file.
+
+The checked-in fixture ``golden/lenet5_nv_small.cfg`` snapshots the
+``ConfigCommand`` sequence that ``trace_to_config`` produces for the
+default flow (seed 2024).  Compiler, VP or codegen changes that alter
+the register program — reordering, different addresses, different poll
+masks — fail here instead of silently drifting the deployed artefacts.
+
+If a change is *intentional*, regenerate the fixture::
+
+    PYTHONPATH=src python - <<'EOF'
+    from repro.baremetal import generate_baremetal
+    from repro.baremetal.config_file import render_config_file
+    from repro.nn.zoo import lenet5
+    from repro.nvdla import NV_SMALL
+    bundle = generate_baremetal(lenet5(), NV_SMALL)
+    open("tests/baremetal/golden/lenet5_nv_small.cfg", "w").write(
+        render_config_file(bundle.commands,
+        header="golden configuration file: lenet5 on nv_small (int8), seed 2024"))
+    EOF
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.baremetal import generate_baremetal
+from repro.baremetal.config_file import parse_config_file, render_config_file
+from repro.nn.zoo import lenet5
+from repro.nvdla import NV_SMALL
+
+GOLDEN = Path(__file__).parent / "golden" / "lenet5_nv_small.cfg"
+HEADER = "golden configuration file: lenet5 on nv_small (int8), seed 2024"
+
+
+@pytest.fixture(scope="module")
+def lenet_commands():
+    return generate_baremetal(lenet5(), NV_SMALL).commands
+
+
+def test_render_is_byte_stable_against_golden(lenet_commands):
+    rendered = render_config_file(lenet_commands, header=HEADER)
+    assert rendered == GOLDEN.read_text(), (
+        "configuration-file drift for lenet5/nv_small — if intentional, "
+        "regenerate the fixture (see module docstring)"
+    )
+
+
+def test_golden_round_trips_through_parser(lenet_commands):
+    parsed = parse_config_file(GOLDEN.read_text())
+    assert parsed == lenet_commands
+    # And the parse→render cycle is itself stable (modulo the header).
+    assert render_config_file(parsed) == render_config_file(lenet_commands)
+
+
+def test_golden_command_mix_is_plausible():
+    commands = parse_config_file(GOLDEN.read_text())
+    writes = [c for c in commands if c.kind == "write_reg"]
+    reads = [c for c in commands if c.kind == "read_reg"]
+    assert len(writes) > len(reads) > 0
+    # Interrupt-status polls carry restricted masks (the trace_to_config
+    # masking rule); plain register reads keep the full mask.
+    assert any(c.mask != 0xFFFFFFFF for c in reads)

@@ -85,6 +85,7 @@ def test_concat_is_zero_copy(branchy_net):
     assert left.output.scale == right.output.scale == tail.input.scale
 
 
+@pytest.mark.slow
 def test_depthwise_lowered_to_channel_blocks():
     net = mobilenet_v1()
     loadable = compile_network(net, NV_SMALL)
@@ -101,6 +102,7 @@ def test_depthwise_lowered_to_channel_blocks():
                 assert not w[i, j].any()
 
 
+@pytest.mark.slow
 def test_grouped_conv_split_per_group():
     net = ZOO["alexnet"]()
     loadable = compile_network(

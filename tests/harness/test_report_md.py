@@ -2,7 +2,13 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.harness.report_md import generate_report
+
+# Regenerates every table/figure end to end — the slowest module in
+# the suite; excluded from the tier-0 loop (pytest -m "not slow").
+pytestmark = pytest.mark.slow
 
 
 def test_report_contains_all_sections():

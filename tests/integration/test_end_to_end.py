@@ -68,6 +68,7 @@ def test_lenet_latency_in_paper_regime(lenet_flow):
     assert 1.0 <= result.milliseconds <= 15.0
 
 
+@pytest.mark.slow
 def test_resnet18_functional_flow():
     """The residual network end to end on the SoC (INT8)."""
     net = resnet18_cifar()

@@ -15,6 +15,9 @@ from repro.nn.zoo import ZOO
 from repro.nvdla import NV_FULL, NV_SMALL
 from repro.nvdla.config import Precision
 
+# Compiles five zoo networks up front — slow end-to-end tier.
+pytestmark = pytest.mark.slow
+
 _CASES = [
     ("lenet5", NV_SMALL, Precision.INT8),
     ("resnet18", NV_SMALL, Precision.INT8),

@@ -35,7 +35,10 @@ def test_roundtrip_branchy(branchy_net):
     assert _same_structure(branchy_net, back)
 
 
-@pytest.mark.parametrize("name", ["lenet5", "resnet18", "alexnet"])
+@pytest.mark.parametrize(
+    "name",
+    ["lenet5", "resnet18", pytest.param("alexnet", marks=pytest.mark.slow)],
+)
 def test_roundtrip_zoo_network(name):
     net = ZOO[name]()
     if net.declared_output:

@@ -1,0 +1,97 @@
+"""Property-style bounds for INT8 quantisation round trips.
+
+Parametrised over seeds, shapes and value ranges: symmetric max-abs
+quantisation must round-trip any tensor within half-step error, keep
+requant constants within their integer fields, and never saturate the
+encodable range from the inside.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.quantize import (
+    dequantize,
+    quantize_weights,
+    requant_constants,
+)
+
+SHAPES = [(8,), (4, 3, 3, 3), (16, 8, 1, 1), (2, 2, 5, 5)]
+RANGES = [0.01, 1.0, 6.5, 300.0]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize("shape", SHAPES)
+@pytest.mark.parametrize("peak", RANGES)
+def test_weight_roundtrip_error_bound(seed, shape, peak):
+    rng = np.random.default_rng(seed)
+    weight = rng.uniform(-peak, peak, size=shape).astype(np.float32)
+    q = quantize_weights(weight, bias=None, input_scale=1.0)
+    # Half-quantisation-step bound, elementwise.
+    step = q.weight_scale
+    reconstructed = dequantize(q.weight, step)
+    assert np.abs(reconstructed - weight).max() <= step / 2 + 1e-7
+    # Quantised values span the symmetric int8 range, never -128.
+    assert q.weight.min() >= -127
+    assert q.weight.max() <= 127
+    # The peak element maps to ±127 (max-abs calibration is tight).
+    assert np.abs(q.weight).max() == 127
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+@pytest.mark.parametrize("input_scale", [1 / 127, 0.02, 1.0])
+def test_bias_quantised_at_accumulator_scale(seed, input_scale):
+    rng = np.random.default_rng(seed)
+    weight = rng.uniform(-1, 1, size=(8, 4, 3, 3)).astype(np.float32)
+    bias = rng.uniform(-5, 5, size=(8,)).astype(np.float32)
+    q = quantize_weights(weight, bias, input_scale=input_scale)
+    assert q.bias is not None and q.bias.dtype == np.int32
+    acc_scale = q.weight_scale * input_scale
+    # Round-trip bound: half an accumulator step.
+    assert np.abs(q.bias * acc_scale - bias).max() <= acc_scale / 2 + 1e-7
+
+
+def test_zero_weight_tensor_gets_safe_scale():
+    q = quantize_weights(np.zeros((4, 4), dtype=np.float32), None, 1.0)
+    assert q.weight_scale > 0
+    assert not q.weight.any()
+
+
+@pytest.mark.parametrize(
+    "input_scale,weight_scale,output_scale",
+    [
+        (1 / 127, 1 / 127, 1 / 127),
+        (0.03, 0.008, 0.05),
+        (1.0, 1.0, 1.0),
+        (0.5, 2.0, 0.001),
+        (1e-4, 1e-4, 10.0),
+    ],
+)
+def test_requant_constants_stay_in_hardware_fields(
+    input_scale, weight_scale, output_scale
+):
+    mult, shift = requant_constants(input_scale, weight_scale, output_scale)
+    # SDP converter fields: 16-bit multiplier, 5-bit shift.
+    assert 1 <= mult < (1 << 16)
+    assert 0 <= shift <= 31
+    # The integer pair approximates the real factor (loose relative
+    # bound; tiny factors bottom out at mult=1).
+    factor = input_scale * weight_scale / output_scale
+    approx = mult / (1 << shift)
+    if factor * (1 << 31) >= 1:
+        assert approx == pytest.approx(factor, rel=0.1, abs=2 ** -31)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_requant_matches_float_math_on_accumulators(seed):
+    """Applying (mult, shift) to int32 accumulators approximates the
+    float requantisation they encode."""
+    rng = np.random.default_rng(seed)
+    input_scale, weight_scale, output_scale = 0.01, 0.005, 0.02
+    mult, shift = requant_constants(input_scale, weight_scale, output_scale)
+    acc = rng.integers(-(1 << 20), 1 << 20, size=256, dtype=np.int64)
+    hw = (acc * mult) >> shift
+    real = acc * (input_scale * weight_scale / output_scale)
+    # Within one output LSB plus the multiplier's relative error.
+    assert np.abs(hw - real).max() <= np.abs(real).max() * 0.02 + 1.0

@@ -1,0 +1,131 @@
+"""BundleCache: hit/miss semantics, keys, LRU bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baremetal.codegen import CodegenOptions
+from repro.baremetal.pipeline import bundle_cache_key, options_fingerprint
+from repro.compiler import CompileOptions
+from repro.errors import ReproError
+from repro.nvdla import NV_FULL, NV_SMALL
+from repro.nvdla.config import Precision
+from repro.serve import BundleCache
+
+
+def test_same_key_returns_identical_bundle_without_recompiling():
+    cache = BundleCache()
+    first = cache.bundle_for("lenet5", NV_SMALL, fidelity="timing")
+    again = cache.bundle_for("lenet5", NV_SMALL, fidelity="timing")
+    assert again is first  # the very same object, no rebuild
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == 1
+    assert cache.stats.hit_rate == 0.5
+
+
+def test_different_precision_misses():
+    cache = BundleCache()
+    int8 = cache.bundle_for("lenet5", NV_FULL, Precision.INT8, fidelity="timing")
+    fp16 = cache.bundle_for("lenet5", NV_FULL, Precision.FP16, fidelity="timing")
+    assert cache.stats.misses == 2
+    assert cache.stats.hits == 0
+    assert int8 is not fp16
+    assert int8.precision is Precision.INT8
+    assert fp16.precision is Precision.FP16
+
+
+def test_different_fidelity_and_config_miss():
+    cache = BundleCache()
+    cache.bundle_for("lenet5", NV_SMALL, fidelity="timing")
+    cache.bundle_for("lenet5", NV_SMALL, fidelity="functional")
+    cache.bundle_for("lenet5", NV_FULL, fidelity="timing")
+    assert cache.stats.misses == 3
+
+
+def test_codegen_options_are_part_of_the_key():
+    cache = BundleCache()
+    default = cache.bundle_for("lenet5", NV_SMALL, fidelity="timing")
+    tweaked = cache.bundle_for(
+        "lenet5",
+        NV_SMALL,
+        fidelity="timing",
+        codegen_options=CodegenOptions(poll_limit=12345),
+    )
+    assert cache.stats.misses == 2
+    assert default is not tweaked
+    # But an explicitly default-constructed options object is the same
+    # deployment as None.
+    same = cache.bundle_for(
+        "lenet5", NV_SMALL, fidelity="timing", codegen_options=CodegenOptions()
+    )
+    assert same is default
+    assert cache.stats.hits == 1
+
+
+def test_key_treats_default_compile_options_as_none():
+    for precision in (Precision.INT8, Precision.FP16):
+        explicit = bundle_cache_key(
+            "lenet5",
+            NV_FULL,
+            precision,
+            compile_options=CompileOptions(precision=precision),
+        )
+        implied = bundle_cache_key("lenet5", NV_FULL, precision)
+        assert explicit == implied
+
+
+def test_key_separates_seeds_and_models():
+    base = bundle_cache_key("lenet5", NV_SMALL, Precision.INT8)
+    assert bundle_cache_key("resnet18", NV_SMALL, Precision.INT8) != base
+    assert bundle_cache_key("lenet5", NV_SMALL, Precision.INT8, seed=1) != base
+
+
+def test_options_fingerprint_stability():
+    assert options_fingerprint(None) == "defaults"
+    # A default-constructed options object IS the defaults.
+    assert options_fingerprint(CodegenOptions()) == "defaults"
+    a = options_fingerprint(CodegenOptions(poll_limit=7))
+    b = options_fingerprint(CodegenOptions(poll_limit=7))
+    c = options_fingerprint(CodegenOptions(poll_limit=8))
+    assert a == b
+    assert a != c
+    assert a != "defaults"
+
+
+def test_independent_builds_are_exact_replicas():
+    """Two caches building the same deployment key independently
+    produce byte-identical artefacts (the determinism the cache's
+    correctness rests on), witnessed by artifact_digest."""
+    digests = [
+        BundleCache().bundle_for("lenet5", NV_SMALL, fidelity="timing").artifact_digest()
+        for _ in range(2)
+    ]
+    assert digests[0] == digests[1]
+    # In functional fidelity the seed picks the baked input.bin, so a
+    # different seed must change the artefacts.  (Timing-mode bundles
+    # carry no DBB payloads and are input-independent by design.)
+    functional = [
+        BundleCache().bundle_for("lenet5", NV_SMALL, seed=seed).artifact_digest()
+        for seed in (2024, 1)
+    ]
+    assert functional[0] != functional[1]
+
+
+def test_lru_eviction_bound():
+    cache = BundleCache(max_entries=1)
+    first = cache.bundle_for("lenet5", NV_SMALL, fidelity="timing")
+    cache.bundle_for("lenet5", NV_FULL, fidelity="timing")
+    assert len(cache) == 1
+    assert cache.stats.evictions == 1
+    # The evicted deployment rebuilds (a fresh object, not the old one).
+    rebuilt = cache.bundle_for("lenet5", NV_SMALL, fidelity="timing")
+    assert rebuilt is not first
+    assert cache.stats.misses == 3
+
+
+def test_unknown_model_rejected():
+    cache = BundleCache()
+    with pytest.raises(ReproError):
+        cache.bundle_for("nonexistent", NV_SMALL)
+    with pytest.raises(ReproError):
+        BundleCache(max_entries=0)

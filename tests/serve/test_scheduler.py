@@ -1,0 +1,82 @@
+"""RequestScheduler: batching, FIFO within deployment, fairness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve import DeploymentSpec, InferenceRequest, RequestScheduler
+
+LENET = DeploymentSpec("lenet5")
+RESNET = DeploymentSpec("resnet18")
+
+
+def _submit(scheduler, deployment, count, start_id=0):
+    for i in range(count):
+        scheduler.submit(InferenceRequest(start_id + i, deployment))
+
+
+def test_batches_group_by_deployment():
+    scheduler = RequestScheduler(max_batch_size=8)
+    _submit(scheduler, LENET, 3)
+    _submit(scheduler, RESNET, 2, start_id=100)
+    batches = scheduler.drain()
+    assert [b.deployment.model for b in batches] == ["lenet5", "resnet18"]
+    assert [len(b) for b in batches] == [3, 2]
+    assert scheduler.pending() == 0
+
+
+def test_fifo_within_a_deployment():
+    scheduler = RequestScheduler(max_batch_size=2)
+    _submit(scheduler, LENET, 5)
+    batches = scheduler.drain()
+    ids = [r.request_id for b in batches for r in b.requests]
+    assert ids == [0, 1, 2, 3, 4]
+    assert [len(b) for b in batches] == [2, 2, 1]
+
+
+def test_fairness_deep_backlog_cannot_starve_other_models():
+    """With a 10-deep lenet5 queue and 2 resnet18 requests, resnet18's
+    first batch dispatches second, not after all of lenet5."""
+    scheduler = RequestScheduler(max_batch_size=2)
+    _submit(scheduler, LENET, 10)
+    _submit(scheduler, RESNET, 2, start_id=100)
+    order = [b.deployment.model for b in scheduler.drain()]
+    assert order[0] == "lenet5"
+    assert order[1] == "resnet18"  # served after ONE lenet batch, not five
+    assert order.count("lenet5") == 5
+
+
+def test_round_robin_alternates_equal_queues():
+    scheduler = RequestScheduler(max_batch_size=1)
+    for i in range(3):
+        scheduler.submit(InferenceRequest(2 * i, LENET))
+        scheduler.submit(InferenceRequest(2 * i + 1, RESNET))
+    order = [b.deployment.model for b in scheduler.drain()]
+    assert order == ["lenet5", "resnet18"] * 3
+
+
+def test_next_batch_interleaves_with_submissions():
+    scheduler = RequestScheduler(max_batch_size=4)
+    _submit(scheduler, LENET, 2)
+    first = scheduler.next_batch()
+    assert first is not None and len(first) == 2
+    assert scheduler.next_batch() is None
+    _submit(scheduler, RESNET, 1, start_id=50)
+    second = scheduler.next_batch()
+    assert second is not None and second.deployment.model == "resnet18"
+    assert second.batch_id == first.batch_id + 1
+
+
+def test_arrival_order_is_assigned_on_submit():
+    scheduler = RequestScheduler()
+    a = InferenceRequest(7, LENET)
+    b = InferenceRequest(8, RESNET)
+    scheduler.submit(a)
+    scheduler.submit(b)
+    assert (a.arrival_order, b.arrival_order) == (0, 1)
+
+
+def test_bad_batch_size_rejected():
+    with pytest.raises(ReproError):
+        RequestScheduler(max_batch_size=0)

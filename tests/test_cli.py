@@ -54,6 +54,30 @@ def test_sanity_single_trace(capsys):
     assert "conv" in capsys.readouterr().out
 
 
+def test_serve_mixed_models(capsys):
+    code = main(
+        ["serve", "--models", "lenet5", "--requests", "3", "--fidelity", "timing"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "requests: 3" in out
+    assert "hit rate" in out and "p99" in out
+
+
+def test_bench_serve_reports_speedup(capsys):
+    code = main(
+        ["bench-serve", "--models", "lenet5", "--requests", "2", "--fidelity", "timing"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "speedup" in out and "req/s" in out
+
+
+def test_serve_unknown_model_rejected():
+    with pytest.raises(SystemExit):
+        main(["serve", "--models", "nonexistent"])
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
