@@ -17,15 +17,16 @@ cold path.
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 
 import numpy as np
 
 from repro.baremetal import generate_baremetal
-from repro.core import Soc
+from repro.core import Soc, calibrate
 from repro.nn.zoo import ZOO
 from repro.nvdla import NV_FULL, NV_SMALL
 from repro.nvdla.config import Precision
-from repro.serve import DeploymentSpec, InferenceService, make_input_for
+from repro.serve import BundleCache, DeploymentSpec, InferenceService, make_input_for
 
 from benchmarks.conftest import single_shot
 
@@ -120,6 +121,72 @@ def test_serving_throughput_nv_small(benchmark, report):
     for cold_out, warm_out in zip(cold_outputs, warm_outputs):
         assert cold_out is not None and warm_out is not None
         assert np.array_equal(cold_out, warm_out)
+
+
+def test_fastpath_serving_throughput(benchmark, report):
+    """The PR-2 acceptance gate: the calibrated fast tier vs the cached
+    cycle-accurate service, same warm workload, shared bundle cache.
+
+    The mix spans the three model classes the zoo serves on nv_small —
+    tiny (lenet5), CIFAR-residual (resnet18) and a 224×224 depthwise
+    network (mobilenet, where the ISS poll burden is heaviest).
+    """
+    rng = np.random.default_rng(WORKLOAD_SEED)
+    models = ("lenet5", "resnet18", "mobilenet")
+    cache = BundleCache()
+    build_began = time.perf_counter()
+    table = calibrate(models, NV_SMALL, cache=cache)
+    build_seconds = time.perf_counter() - build_began
+
+    workload = _mixed_workload(models, "nv_small", Precision.INT8, 6, rng)
+    ca_service = InferenceService(cache=cache, max_batch_size=8)
+    fast_service = InferenceService(cache=cache, max_batch_size=8, calibration=table)
+
+    def _serve(service, mode):
+        for deployment, image in workload:
+            service.request(replace(deployment, execution_mode=mode), image)
+        responses = service.run_pending()
+        assert all(r.ok for r in responses)
+        return [r for r in sorted(responses, key=lambda r: r.request_id)]
+
+    # Warm both tiers (bundle + worker reuse), then measure steady state.
+    _serve(ca_service, "cycle_accurate")
+    _serve(fast_service, "fast")
+
+    def _measure():
+        began = time.perf_counter()
+        ca_responses = _serve(ca_service, "cycle_accurate")
+        ca_seconds = time.perf_counter() - began
+        began = time.perf_counter()
+        fast_responses = _serve(fast_service, "fast")
+        fast_seconds = time.perf_counter() - began
+        return ca_seconds, fast_seconds, ca_responses, fast_responses
+
+    ca_seconds, fast_seconds, ca_responses, fast_responses = single_shot(
+        benchmark, _measure
+    )
+    n = len(workload)
+    speedup = (n / fast_seconds) / (n / ca_seconds)
+
+    report(
+        "fast-path serving — lenet5+resnet18+mobilenet on nv_small (INT8)\n"
+        f"  cycle-accurate: {n} requests in {ca_seconds:.2f} s "
+        f"= {n / ca_seconds:.2f} req/s\n"
+        f"  fast tier:      {n} requests in {fast_seconds:.2f} s "
+        f"= {n / fast_seconds:.2f} req/s  (one-time builds+calibration: "
+        f"{build_seconds:.1f} s)\n"
+        f"  speedup:        {speedup:.1f}x\n\n" + table.render()
+    )
+
+    # Acceptance: >= 10x throughput over cached cycle-accurate serving.
+    assert speedup >= 10.0, f"fast tier only {speedup:.1f}x faster"
+    # Bit-identical tensors, request by request.
+    for ca_response, fast_response in zip(ca_responses, fast_responses):
+        assert np.array_equal(ca_response.output, fast_response.output)
+    # Reported cycles stay inside the calibrated error band.
+    for ca_response, fast_response in zip(ca_responses, fast_responses):
+        error = abs(fast_response.cycles - ca_response.cycles) / ca_response.cycles
+        assert error <= 0.10
 
 
 def test_serving_mixed_nv_full(benchmark, report):

@@ -23,13 +23,14 @@ from repro.baremetal.config_file import ConfigCommand, parse_config_file, render
 from repro.baremetal.trace_to_config import trace_to_config
 from repro.baremetal.weight_extract import MemorySegment, extract_initial_memory, split_by_regions
 from repro.baremetal.codegen import CodegenOptions, generate_assembly
-from repro.baremetal.pipeline import BaremetalBundle, generate_baremetal
+from repro.baremetal.pipeline import BaremetalBundle, execute_bundle, generate_baremetal
 
 __all__ = [
     "BaremetalBundle",
     "CodegenOptions",
     "ConfigCommand",
     "MemorySegment",
+    "execute_bundle",
     "extract_initial_memory",
     "generate_assembly",
     "generate_baremetal",

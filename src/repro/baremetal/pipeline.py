@@ -27,7 +27,7 @@ from repro.compiler.loadable import Loadable
 from repro.errors import CodegenError
 from repro.nn.graph import Network
 from repro.nn.quantize import CalibrationTable
-from repro.nvdla.config import HardwareConfig, Precision
+from repro.nvdla.config import HardwareConfig, Precision, get_config
 from repro.riscv.assembler import assemble
 from repro.riscv.program import Program
 from repro.vp import InferenceResult, NvdlaRuntime, TraceLog, VirtualPlatform
@@ -160,6 +160,55 @@ def generate_baremetal(
         fidelity=fidelity,
         notes={"tiling": loadable.tiling_summary},
     )
+
+
+def execute_bundle(
+    bundle: BaremetalBundle,
+    execution_mode: str = "cycle_accurate",
+    input_image: np.ndarray | None = None,
+    frequency_hz: float = 100e6,
+    memory_bus_width_bits: int = 32,
+    calibration=None,
+):
+    """Run a bundle on the selected execution tier.
+
+    The one-stop dispatch the harness and CLI use: builds a throwaway
+    cycle-accurate :class:`~repro.core.soc.Soc` or a calibrated
+    :class:`~repro.core.fastpath.FastPathExecutor` for the bundle's
+    hardware point and executes one inference.  Long-running callers
+    (the serving layer) keep their own reusable workers instead.
+    """
+    # Local imports: repro.core.soc imports this module for the bundle
+    # type, so the dispatch must not import repro.core at module level.
+    if execution_mode == "cycle_accurate":
+        from repro.core.soc import Soc
+
+        soc = Soc(
+            get_config(bundle.config),
+            frequency_hz=frequency_hz,
+            fidelity=bundle.fidelity,
+            memory_bus_width_bits=memory_bus_width_bits,
+        )
+        soc.load_bundle(bundle)
+        if input_image is not None:
+            from repro.nvdla.fastpath import pack_input
+
+            address, packed = pack_input(
+                bundle.loadable, get_config(bundle.config), input_image
+            )
+            soc.preload_dram(address, packed)
+        return soc.run_inference(bundle)
+    if execution_mode == "fast":
+        from repro.core.fastpath import FastPathExecutor
+
+        executor = FastPathExecutor(
+            get_config(bundle.config),
+            frequency_hz=frequency_hz,
+            calibration=calibration,
+            memory_bus_width_bits=memory_bus_width_bits,
+        )
+        return executor.run(bundle, input_image=input_image)
+    raise CodegenError(f"unknown execution mode {execution_mode!r}")
 
 
 def options_fingerprint(options: object | None) -> str:

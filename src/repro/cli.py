@@ -4,10 +4,13 @@ Exposes the flows a downstream user runs most::
 
     python -m repro info
     python -m repro run --model lenet5 --config nv_small
+    python -m repro run --model lenet5 --mode fast
     python -m repro flow --model lenet5 --out artifacts/
     python -m repro table1 | table2 | table3
     python -m repro serve --models lenet5,resnet18 --requests 32
+    python -m repro serve --mode fast --calibration cal.json
     python -m repro bench-serve --requests 8
+    python -m repro calibrate --models lenet5,resnet18 --out cal.json
     python -m repro synth --config nv_full
     python -m repro sanity --trace conv
 """
@@ -38,24 +41,81 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _calibration_for_cli(
+    models: list[str],
+    config,
+    precision: Precision,
+    fidelity: str,
+    path: str | None,
+    memory_bus_width_bits: int = 32,
+):
+    """Load a saved calibration table, or fit one and optionally save it.
+
+    A loaded table must cover every requested model (at the requested
+    memory width); if it does not, the requested set is recalibrated
+    and the old table's other entries are merged back in before
+    re-saving, so accumulated validation work is never dropped.
+    """
+    from pathlib import Path as _Path
+
+    from repro.core import CalibrationTable, calibrate
+
+    saved = None
+    if path and _Path(path).exists():
+        saved = CalibrationTable.load(path)
+        if all(
+            saved.has(m, config.name, precision, memory_bus_width_bits) for m in models
+        ):
+            print(f"calibration: loaded {path} ({len(saved)} entries)")
+            return saved
+        print(f"calibration: {path} missing entries, recalibrating...")
+    print(f"calibrating {','.join(models)} on {config.name} (one cycle-accurate run each)...")
+    table = calibrate(
+        tuple(models),
+        config,
+        precision=precision,
+        fidelity=fidelity,
+        memory_bus_width_bits=memory_bus_width_bits,
+    )
+    if saved is not None:
+        table.merge(saved)
+    if path:
+        table.save(path)
+        print(f"calibration: saved {path}")
+    return table
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.baremetal import generate_baremetal
-    from repro.core import Soc
+    from repro.baremetal import execute_bundle, generate_baremetal
     from repro.nn.zoo import ZOO
+    from repro.serve import shared_cache
 
     config = get_config(args.config)
     precision = Precision(args.precision)
-    net = ZOO[args.model]()
-    print(f"running {args.model} on {config.name} ({precision.value}, {args.fidelity})...")
-    bundle = generate_baremetal(net, config, precision=precision, fidelity=args.fidelity)
-    soc = Soc(
-        config,
-        frequency_hz=args.frequency_mhz * 1e6,
-        fidelity=args.fidelity,
-        memory_bus_width_bits=args.memory_width,
+    print(
+        f"running {args.model} on {config.name} "
+        f"({precision.value}, {args.fidelity}, {args.mode})..."
     )
-    soc.load_bundle(bundle)
-    result = soc.run_inference(bundle)
+    calibration = None
+    if args.mode == "fast":
+        calibration = _calibration_for_cli(
+            [args.model], config, precision, args.fidelity, args.calibration,
+            memory_bus_width_bits=args.memory_width,
+        )
+        bundle = shared_cache().bundle_for(
+            args.model, config, precision=precision, fidelity=args.fidelity
+        )
+    else:
+        bundle = generate_baremetal(
+            ZOO[args.model](), config, precision=precision, fidelity=args.fidelity
+        )
+    result = execute_bundle(
+        bundle,
+        execution_mode=args.mode,
+        frequency_hz=args.frequency_mhz * 1e6,
+        memory_bus_width_bits=args.memory_width,
+        calibration=calibration,
+    )
     status = "DONE" if result.ok else f"FAIL (command {result.fail_index})"
     print(f"status:  {status}")
     print(f"latency: {result.cycles:,} cycles = {result.milliseconds:.3f} ms @ {args.frequency_mhz:g} MHz")
@@ -145,6 +205,7 @@ def _build_workload(args: argparse.Namespace):
             config=args.config,
             precision=Precision(args.precision),
             fidelity=args.fidelity,
+            execution_mode=getattr(args, "mode", "cycle_accurate"),
         )
         for model in models
     ]
@@ -159,11 +220,30 @@ def _build_workload(args: argparse.Namespace):
     return workload
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serve import InferenceService
+def _serve_calibration(args: argparse.Namespace):
+    """The calibration table a fast-mode serve workload needs."""
+    if getattr(args, "mode", "cycle_accurate") != "fast":
+        return None
+    models = [m.strip() for m in args.models.split(",") if m.strip()]
+    return _calibration_for_cli(
+        models,
+        get_config(args.config),
+        Precision(args.precision),
+        args.fidelity,
+        args.calibration,
+    )
 
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import InferenceService, shared_cache
+
+    # The shared cache keeps fast-mode calibration (which already built
+    # every deployment's bundle) and the service on one set of builds.
     service = InferenceService(
-        max_batch_size=args.batch_size, workers_per_key=args.workers
+        cache=shared_cache(),
+        max_batch_size=args.batch_size,
+        workers_per_key=args.workers,
+        calibration=_serve_calibration(args),
     )
     workload = _build_workload(args)
     print(
@@ -181,16 +261,62 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
-    """Cold per-request flow vs the cached service, head to head."""
+    """Head-to-head serving benchmarks.
+
+    - ``--mode cycle_accurate`` (default): cold per-request offline
+      flow vs the cached cycle-accurate service (the PR-1 comparison);
+    - ``--mode fast``: cached cycle-accurate service vs the calibrated
+      fast tier, same workload, shared bundle cache.
+    """
     import time
+
+    from dataclasses import replace
 
     from repro.baremetal import generate_baremetal
     from repro.core import Soc
     from repro.nn.zoo import ZOO
-    from repro.serve import InferenceService
+    from repro.serve import InferenceService, shared_cache
 
     workload = _build_workload(args)
     config = get_config(args.config)
+    n = len(workload)
+
+    if args.mode == "fast":
+        calibration = _serve_calibration(args)
+        cache = shared_cache()  # calibration already built these bundles
+        baseline = InferenceService(
+            cache=cache, max_batch_size=args.batch_size, workers_per_key=args.workers
+        )
+        fast_service = InferenceService(
+            cache=cache,
+            max_batch_size=args.batch_size,
+            workers_per_key=args.workers,
+            calibration=calibration,
+        )
+        results = {}
+        for label, service, mode in (
+            ("cycle-accurate", baseline, "cycle_accurate"),
+            ("fast tier", fast_service, "fast"),
+        ):
+            # Warm the caches/workers so the measured window is the
+            # steady-state serving regime for both tiers.
+            for deployment, image in workload[: min(n, 4)]:
+                service.request(replace(deployment, execution_mode=mode), image)
+            service.run_pending()
+            began = time.perf_counter()
+            for deployment, image in workload:
+                service.request(replace(deployment, execution_mode=mode), image)
+            responses = service.run_pending()
+            elapsed = time.perf_counter() - began
+            if any(not r.ok for r in responses):
+                print(f"{label} run failed")
+                return 1
+            results[label] = elapsed
+            print(f"{label:<15}: {elapsed:.2f} s  ({n / elapsed:.2f} req/s)")
+        print(f"speedup: {results['cycle-accurate'] / results['fast tier']:.1f}x")
+        print()
+        print(fast_service.metrics.render())
+        return 0
 
     began = time.perf_counter()
     for deployment, image in workload:
@@ -220,12 +346,39 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         print("served run failed")
         return 1
 
-    n = len(workload)
     print(f"cold path (per-request offline flow): {cold:.2f} s  ({n / cold:.2f} req/s)")
     print(f"served    (bundle cache + reuse):     {warm:.2f} s  ({n / warm:.2f} req/s)")
     print(f"speedup: {cold / warm:.1f}x")
     print()
     print(service.metrics.render())
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.core import calibrate
+
+    models = [m.strip() for m in args.models.split(",") if m.strip()]
+    if not models:
+        raise SystemExit("--models needs at least one zoo model")
+    config = get_config(args.config)
+    print(f"calibrating {','.join(models)} on {config.name} ({args.precision})...")
+    # max_error=None: this command reports the fit and applies its own
+    # --max-error gate below instead of raising mid-run.
+    table = calibrate(
+        tuple(models),
+        config,
+        precision=Precision(args.precision),
+        fidelity=args.fidelity,
+        memory_bus_width_bits=args.memory_width,
+        max_error=None,
+    )
+    print(table.render())
+    if args.out:
+        path = table.save(args.out)
+        print(f"table written to {path}")
+    if table.worst_error() > args.max_error:
+        print(f"FAIL: worst error {table.worst_error():.2%} > {args.max_error:.0%}")
+        return 1
     return 0
 
 
@@ -259,6 +412,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--fidelity", default="functional", choices=["functional", "timing"])
     run.add_argument("--frequency-mhz", type=float, default=100.0)
     run.add_argument("--memory-width", type=int, default=32)
+    run.add_argument("--mode", default="cycle_accurate", choices=["cycle_accurate", "fast"],
+                     help="execution tier: full SoC simulation or the calibrated fast path")
+    run.add_argument("--calibration", default=None,
+                     help="calibration table JSON to load/save for --mode fast")
 
     flow = sub.add_parser("flow", help="dump every offline-flow artefact")
     flow.add_argument("--model", default="lenet5")
@@ -287,6 +444,25 @@ def build_parser() -> argparse.ArgumentParser:
         serve.add_argument("--batch-size", type=int, default=8)
         serve.add_argument("--workers", type=int, default=1)
         serve.add_argument("--seed", type=int, default=7)
+        serve.add_argument("--mode", default="cycle_accurate",
+                           choices=["cycle_accurate", "fast"],
+                           help="execution tier for the workload's deployments")
+        serve.add_argument("--calibration", default=None,
+                           help="calibration table JSON to load/save for --mode fast")
+
+    cal = sub.add_parser(
+        "calibrate",
+        help="fit + validate the fast-path cycle model against cycle-accurate runs",
+    )
+    cal.add_argument("--models", default="lenet5,resnet18",
+                     help="comma-separated zoo models to calibrate")
+    cal.add_argument("--config", default="nv_small", choices=sorted(CONFIGS))
+    cal.add_argument("--precision", default="int8", choices=[p.value for p in Precision])
+    cal.add_argument("--fidelity", default="functional", choices=["functional", "timing"])
+    cal.add_argument("--memory-width", type=int, default=32)
+    cal.add_argument("--max-error", type=float, default=0.10,
+                     help="fail when any validated pair exceeds this relative error")
+    cal.add_argument("--out", default=None, help="write the table to this JSON path")
 
     sanity = sub.add_parser("sanity", help="run the NVDLA sanity test traces")
     sanity.add_argument("--trace", default=None)
@@ -314,6 +490,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "bench-serve":
         return _cmd_bench_serve(args)
+    if args.command == "calibrate":
+        return _cmd_calibrate(args)
     if args.command == "sanity":
         return _cmd_sanity(args)
     if args.command == "report":

@@ -17,7 +17,9 @@
 
 from repro.core.address_map import AddressMap, DEFAULT_MAP
 from repro.core.arbiter import DramArbiter
+from repro.core.calibration import CalibrationEntry, CalibrationTable, OverheadParams
 from repro.core.executor import BaremetalExecutor, RunStats
+from repro.core.fastpath import FastPathEstimate, FastPathExecutor, calibrate
 from repro.core.nvdla_wrapper import NvdlaWrapper
 from repro.core.soc import Soc, SocRunResult
 from repro.core.system_builder import TestSystem, ZynqPreloader
@@ -25,12 +27,18 @@ from repro.core.system_builder import TestSystem, ZynqPreloader
 __all__ = [
     "AddressMap",
     "BaremetalExecutor",
+    "CalibrationEntry",
+    "CalibrationTable",
     "DEFAULT_MAP",
     "DramArbiter",
+    "FastPathEstimate",
+    "FastPathExecutor",
     "NvdlaWrapper",
+    "OverheadParams",
     "RunStats",
     "Soc",
     "SocRunResult",
     "TestSystem",
     "ZynqPreloader",
+    "calibrate",
 ]

@@ -1,0 +1,317 @@
+"""Calibration of the fast-path cycle estimator.
+
+The fast path prices NVDLA hardware layers with the engine's own
+analytic model, so the only unknown left in a whole-run estimate is
+the µRISC-V side: how many cycles the generated program spends
+writing CSB registers, polling interrupt status, and in fixed
+startup/teardown around the command stream.  Those costs are linear
+in quantities the bundle already knows — the ``write_reg`` and
+``read_reg`` counts of its configuration file — so calibration is a
+three-parameter least-squares fit against measured cycle-accurate
+runs:
+
+    measured ≈ Σ op_cycles + c_write·writes + c_poll·polls + c_fixed
+
+A :class:`CalibrationTable` persists the fitted :class:`OverheadParams`
+plus one validation entry per (model, config, precision) pair that was
+checked against a measured run.  The fast-path executor *refuses* to
+serve a pair with no entry — an uncalibrated estimate is a number
+nobody ever compared against the reference, which is exactly the
+failure mode the differential suite exists to prevent.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: Gate applied by ``repro calibrate`` and the differential suite.
+DEFAULT_ERROR_BAND = 0.10
+
+
+@dataclass(frozen=True)
+class OverheadParams:
+    """Fitted CPU-side overhead coefficients (cycles).
+
+    Defaults approximate the least-squares fit against nv_small INT8
+    runs on the default SoC build (~10 cycles per register write: two
+    ``li`` + ``sw`` through AHB→APB→CSB; ~30 per interrupt poll:
+    the sub-threshold loop iterations plus the acknowledge store).
+    They only back *uncalibrated* estimates — :func:`fit_overheads`
+    supersedes them whenever calibration runs, and fast-mode execution
+    always goes through a fitted, validated table.
+    """
+
+    fixed_cycles: float = 100.0
+    cycles_per_csb_write: float = 10.0
+    cycles_per_poll: float = 30.0
+
+    def programming_cycles(self, csb_writes: int, polls: int) -> int:
+        return int(
+            round(
+                self.fixed_cycles
+                + self.cycles_per_csb_write * csb_writes
+                + self.cycles_per_poll * polls
+            )
+        )
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One measured cycle-accurate run, reduced to the fit's terms."""
+
+    model: str
+    config: str
+    precision: str
+    op_cycles: int  # Σ analytic per-op totals
+    csb_writes: int  # write_reg commands in the bundle
+    polls: int  # read_reg commands in the bundle
+    measured_cycles: int  # cycle-accurate SoC run
+
+
+@dataclass(frozen=True)
+class CalibrationEntry:
+    """Validation record: estimate vs measurement for one deployment.
+
+    The key includes the memory-path width because per-op DMA pricing
+    changes with it — a pair validated at 32 bits says nothing about
+    the 64-bit estimate.  Fidelity is deliberately *not* part of the
+    key: the register program (and therefore the measured cycle count)
+    is identical across fidelities; only DBB payload logging differs.
+    """
+
+    model: str
+    config: str
+    precision: str
+    measured_cycles: int
+    estimated_cycles: int
+    memory_bus_width_bits: int = 32
+    # The estimator's raw terms, kept so a merge into a table with
+    # *different* fitted params can recompute and re-validate the
+    # estimate without re-measuring (op_cycles == 0 means unknown).
+    op_cycles: int = 0
+    csb_writes: int = 0
+    polls: int = 0
+
+    @property
+    def error(self) -> float:
+        """Signed relative error of the estimate."""
+        if self.measured_cycles == 0:
+            return 0.0
+        return (self.estimated_cycles - self.measured_cycles) / self.measured_cycles
+
+    def within(self, band: float = DEFAULT_ERROR_BAND) -> bool:
+        return abs(self.error) <= band
+
+
+def fit_overheads(observations: list[Observation]) -> OverheadParams:
+    """Least-squares fit of the three overhead coefficients.
+
+    With fewer than three observations the system is underdetermined;
+    ``lstsq`` then yields the minimum-norm solution, which still
+    reproduces the observed runs exactly.
+    """
+    if not observations:
+        raise ReproError("calibration needs at least one measured run")
+    design = np.array(
+        [[1.0, o.csb_writes, o.polls] for o in observations], dtype=np.float64
+    )
+    target = np.array(
+        [o.measured_cycles - o.op_cycles for o in observations], dtype=np.float64
+    )
+    coeffs, *_ = np.linalg.lstsq(design, target, rcond=None)
+    return OverheadParams(
+        fixed_cycles=float(coeffs[0]),
+        cycles_per_csb_write=float(coeffs[1]),
+        cycles_per_poll=float(coeffs[2]),
+    )
+
+
+class CalibrationTable:
+    """Fitted overhead parameters plus per-deployment validation."""
+
+    def __init__(self, params: OverheadParams | None = None) -> None:
+        self.params = params or OverheadParams()
+        self.entries: dict[tuple[str, str, str, int], CalibrationEntry] = {}
+
+    @staticmethod
+    def key(
+        model: str, config: str, precision, memory_bus_width_bits: int = 32
+    ) -> tuple[str, str, str, int]:
+        precision = getattr(precision, "value", precision)
+        return (model, str(config), str(precision), int(memory_bus_width_bits))
+
+    def __contains__(self, key: tuple[str, str, str, int]) -> bool:
+        return key in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def has(
+        self, model: str, config: str, precision, memory_bus_width_bits: int = 32
+    ) -> bool:
+        return self.key(model, config, precision, memory_bus_width_bits) in self.entries
+
+    def entry(
+        self, model: str, config: str, precision, memory_bus_width_bits: int = 32
+    ) -> CalibrationEntry:
+        return self.entries[self.key(model, config, precision, memory_bus_width_bits)]
+
+    def require(
+        self, model: str, config: str, precision, memory_bus_width_bits: int = 32
+    ) -> CalibrationEntry:
+        """The fast-mode guard: raise for never-calibrated deployments."""
+        key = self.key(model, config, precision, memory_bus_width_bits)
+        entry = self.entries.get(key)
+        if entry is None:
+            known = sorted(
+                "/".join(map(str, k)) for k in self.entries
+            ) or ["<empty table>"]
+            raise ReproError(
+                f"fast-path execution of {'/'.join(map(str, key))} was never "
+                f"calibrated (calibrated: {', '.join(known)}); run "
+                f"`repro calibrate` first"
+            )
+        return entry
+
+    def admit(
+        self,
+        model: str,
+        config: str,
+        precision,
+        measured_cycles: int,
+        estimated_cycles: int,
+        memory_bus_width_bits: int = 32,
+        op_cycles: int = 0,
+        csb_writes: int = 0,
+        polls: int = 0,
+    ) -> CalibrationEntry:
+        """Record a validated deployment, unlocking fast mode for it."""
+        entry = CalibrationEntry(
+            model=model,
+            config=str(config),
+            precision=str(getattr(precision, "value", precision)),
+            measured_cycles=int(measured_cycles),
+            estimated_cycles=int(estimated_cycles),
+            memory_bus_width_bits=int(memory_bus_width_bits),
+            op_cycles=int(op_cycles),
+            csb_writes=int(csb_writes),
+            polls=int(polls),
+        )
+        self.entries[self.key(model, config, precision, memory_bus_width_bits)] = entry
+        return entry
+
+    def merge(
+        self, other: "CalibrationTable", error_band: float = DEFAULT_ERROR_BAND
+    ) -> "CalibrationTable":
+        """Fold another table's entries in, re-validated under *this*
+        table's params.
+
+        An entry's recorded estimate is only meaningful under the
+        params that produced it, so merged entries are recomputed from
+        their stored terms against ``self.params``; entries that land
+        outside ``error_band`` — or that carry no terms (tables written
+        by older code) — are dropped rather than unlocking fast mode
+        with a validation nobody performed.  Pairs present in both
+        tables keep this table's (freshly fitted) entry.
+        """
+        for key, entry in other.entries.items():
+            if key in self.entries:
+                continue
+            if entry.op_cycles <= 0:
+                continue  # no terms — cannot vouch under new params
+            estimated = entry.op_cycles + self.params.programming_cycles(
+                entry.csb_writes, entry.polls
+            )
+            revalidated = CalibrationEntry(
+                model=entry.model,
+                config=entry.config,
+                precision=entry.precision,
+                measured_cycles=entry.measured_cycles,
+                estimated_cycles=estimated,
+                memory_bus_width_bits=entry.memory_bus_width_bits,
+                op_cycles=entry.op_cycles,
+                csb_writes=entry.csb_writes,
+                polls=entry.polls,
+            )
+            if revalidated.within(error_band):
+                self.entries[key] = revalidated
+        return self
+
+    def worst_error(self) -> float:
+        return max((abs(e.error) for e in self.entries.values()), default=0.0)
+
+    # ------------------------------------------------------------------
+    # Persistence.
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "params": {
+                "fixed_cycles": self.params.fixed_cycles,
+                "cycles_per_csb_write": self.params.cycles_per_csb_write,
+                "cycles_per_poll": self.params.cycles_per_poll,
+            },
+            "entries": [
+                {
+                    "model": e.model,
+                    "config": e.config,
+                    "precision": e.precision,
+                    "measured_cycles": e.measured_cycles,
+                    "estimated_cycles": e.estimated_cycles,
+                    "memory_bus_width_bits": e.memory_bus_width_bits,
+                    "op_cycles": e.op_cycles,
+                    "csb_writes": e.csb_writes,
+                    "polls": e.polls,
+                }
+                for e in self.entries.values()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CalibrationTable":
+        table = cls(OverheadParams(**data["params"]))
+        for raw in data.get("entries", []):
+            table.admit(
+                raw["model"],
+                raw["config"],
+                raw["precision"],
+                raw["measured_cycles"],
+                raw["estimated_cycles"],
+                memory_bus_width_bits=raw.get("memory_bus_width_bits", 32),
+                op_cycles=raw.get("op_cycles", 0),
+                csb_writes=raw.get("csb_writes", 0),
+                polls=raw.get("polls", 0),
+            )
+        return table
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CalibrationTable":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def render(self) -> str:
+        lines = [
+            "fast-path calibration:",
+            f"  fixed {self.params.fixed_cycles:.0f} cyc, "
+            f"{self.params.cycles_per_csb_write:.1f} cyc/write, "
+            f"{self.params.cycles_per_poll:.1f} cyc/poll",
+        ]
+        for entry in sorted(self.entries.values(), key=lambda e: (e.config, e.model)):
+            lines.append(
+                f"  {entry.model}/{entry.config}/{entry.precision}"
+                f"@{entry.memory_bus_width_bits}b: "
+                f"measured {entry.measured_cycles:,} vs estimated "
+                f"{entry.estimated_cycles:,} ({entry.error:+.2%})"
+            )
+        return "\n".join(lines)

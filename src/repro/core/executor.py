@@ -26,13 +26,21 @@ class RunStats:
     instructions: int = 0
     seconds: float = 0.0
     fast_forwards: int = 0
-    skipped_cycles: int = 0
+    active_cycles: int = 0  # cycles the CPU actually executed
+    skipped_cycles: int = 0  # cycles fast-forwarded through poll loops
     halted: bool = False
     by_class: dict[str, int] = field(default_factory=dict)
 
     @property
     def poll_fraction(self) -> float:
-        """Share of total cycles spent waiting on NVDLA."""
+        """Share of total cycles fast-forwarded through poll loops.
+
+        ``active_cycles`` and ``skipped_cycles`` are accumulated
+        independently and partition ``cycles`` exactly — the property
+        ``tests/core/test_fastpath.py`` pins down — so this fraction is
+        unambiguous: it is *skipped* (NVDLA-wait) time, not a share of
+        some third accounting.
+        """
         return self.skipped_cycles / self.cycles if self.cycles else 0.0
 
 
@@ -61,6 +69,7 @@ class BaremetalExecutor:
                 )
             cost = cpu.step()
             clock.advance(cost)
+            stats.active_cycles += cost
             if cpu.poll.streak >= self.POLL_STREAK_THRESHOLD:
                 before = clock.now
                 if clock.fast_forward_to_next_event():

@@ -51,8 +51,13 @@ class _CsbPort(BusPort):
         return Reply(data=value.to_bytes(4, "little"), cycles=self.CSB_CYCLES)
 
 
-class _WrapperDbbPort:
-    """The engine-facing memory port: converter + arbiter + rebase."""
+class WrapperDbbPort:
+    """The engine-facing memory port: converter + arbiter + rebase.
+
+    Public because the fast-path executor (:mod:`repro.core.fastpath`)
+    builds the identical converter + arbiter chain so its per-op DMA
+    pricing matches the cycle-accurate wrapper exactly.
+    """
 
     def __init__(
         self,
@@ -118,7 +123,7 @@ class NvdlaWrapper:
             master_width_bits=config.dbb_width_bits,
             slave_width_bits=memory_bus_width_bits,
         )
-        self.dbb_port = _WrapperDbbPort(
+        self.dbb_port = WrapperDbbPort(
             arbiter, self.width_converter, dram_base=address_map.dram_base
         )
         self.engine = NvdlaEngine(

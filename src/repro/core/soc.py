@@ -211,16 +211,9 @@ class Soc:
 
     def read_output(self, bundle: BaremetalBundle) -> np.ndarray:
         """Unpack the network output tensor from DRAM (dequantised)."""
-        ref = bundle.loadable.output_tensor
-        atom = self.config.atom_channels(ref.precision)
-        raw = self.dram.storage.read(
-            ref.require_address() - self.address_map.dram_base,
-            ref.packed_bytes(atom),
+        return read_output_tensor(
+            self.dram.storage, bundle, self.config, self.address_map.dram_base
         )
-        tensor = unpack_feature(raw, ref.shape, atom, ref.precision)
-        if ref.precision is Precision.INT8:
-            return tensor.astype(np.float32) * ref.scale
-        return tensor.astype(np.float32)
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -253,6 +246,24 @@ class Soc:
                 "contended": self.arbiter.stats.contended_grants,
             },
         }
+
+
+def read_output_tensor(
+    storage, bundle: BaremetalBundle, config: HardwareConfig, dram_base: int
+) -> np.ndarray:
+    """Unpack + dequantise a bundle's output tensor from a DRAM image.
+
+    One implementation for every execution tier — the fast path reads
+    its private DRAM image through this too, so the output decode can
+    never diverge between tiers.
+    """
+    ref = bundle.loadable.output_tensor
+    atom = config.atom_channels(ref.precision)
+    raw = storage.read(ref.require_address() - dram_base, ref.packed_bytes(atom))
+    tensor = unpack_feature(raw, ref.shape, atom, ref.precision)
+    if ref.precision is Precision.INT8:
+        return tensor.astype(np.float32) * ref.scale
+    return tensor.astype(np.float32)
 
 
 def verify_against_reference(result: SocRunResult, expected: np.ndarray, rtol: float = 0.1) -> bool:

@@ -21,10 +21,17 @@ against the paper's Tables II/III regimes.
 
 from repro.nvdla.config import HardwareConfig, NV_FULL, NV_SMALL, Precision
 from repro.nvdla.engine import NvdlaEngine, OpRecord
+from repro.nvdla.fastpath import (
+    FastPathOp,
+    estimate_op_timings,
+    lower_loadable,
+    pack_input,
+)
 from repro.nvdla.registers import RegisterBlock, RegisterSpec
 from repro.nvdla.timing import TimingParams
 
 __all__ = [
+    "FastPathOp",
     "HardwareConfig",
     "NV_FULL",
     "NV_SMALL",
@@ -34,4 +41,7 @@ __all__ = [
     "RegisterBlock",
     "RegisterSpec",
     "TimingParams",
+    "estimate_op_timings",
+    "lower_loadable",
+    "pack_input",
 ]

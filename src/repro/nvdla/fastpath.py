@@ -1,0 +1,294 @@
+"""Fast-path NVDLA execution: loadable → descriptors → kernels.
+
+The cycle-accurate path reaches the functional unit kernels through
+five indirections: generated RISC-V code, the ISS, the bus fabric,
+CSB register decode, and the engine's shadow-group launch logic.  The
+fast path removes all of them while keeping the *leaf* code identical:
+it lowers a compiled :class:`~repro.compiler.loadable.Loadable`
+straight into the same :mod:`repro.nvdla.descriptors` the engine
+would parse from its shadow registers, executes them through the same
+unit kernels (:mod:`repro.nvdla.units`), and prices them through the
+same analytic timing functions (:mod:`repro.nvdla.timing`).
+
+Because descriptor construction mirrors the VP runtime's register
+programming field by field (:class:`repro.vp.runtime.NvdlaRuntime`),
+the tensors a fast-path run writes to memory are bit-identical to a
+cycle-accurate SoC run of the same bundle — the property
+``tests/nvdla/test_fastpath_differential.py`` gates on every zoo
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compiler.loadable import Loadable
+from repro.compiler.ops import (
+    ConvOp,
+    CpuSoftmaxOp,
+    EltwiseOpKind,
+    HwOp,
+    LrnOp,
+    PoolOp,
+    SdpOp,
+    TensorRef,
+)
+from repro.errors import ConfigurationError
+from repro.nvdla.cbuf import Cbuf
+from repro.nvdla.config import HardwareConfig, Precision
+from repro.nvdla.descriptors import (
+    CdpDescriptor,
+    ConvDescriptor,
+    EltwiseOp,
+    OpTiming,
+    PdpDescriptor,
+    PoolMode,
+    SdpDescriptor,
+    SdpSource,
+    TensorDesc,
+    bits_to_f32,
+    f32_to_bits,
+)
+from repro.nvdla.layout import feature_strides, pack_feature
+from repro.nvdla.mcif import Mcif
+from repro.nvdla.timing import (
+    TimingParams,
+    cdp_op_timing,
+    conv_op_timing,
+    pdp_op_timing,
+    sdp_op_timing,
+)
+from repro.nvdla.units import cdp as cdp_mod
+from repro.nvdla.units import conv_pipeline
+from repro.nvdla.units import pdp as pdp_mod
+from repro.nvdla.units import sdp as sdp_mod
+
+_ELTWISE = {
+    EltwiseOpKind.ADD: EltwiseOp.ADD,
+    EltwiseOpKind.MUL: EltwiseOp.MUL,
+    EltwiseOpKind.MAX: EltwiseOp.MAX,
+}
+_POOL = {"max": PoolMode.MAX, "avg": PoolMode.AVG}
+
+
+@dataclass(frozen=True)
+class FastPathOp:
+    """One hardware layer, lowered to engine descriptors."""
+
+    name: str
+    kind: str  # 'conv' | 'sdp' | 'pdp' | 'cdp'
+    sink: str  # 'SDP' | 'PDP' | 'CDP'
+    descriptor: SdpDescriptor | PdpDescriptor | CdpDescriptor
+    conv: ConvDescriptor | None = None  # the producer half of a fused conv
+
+
+def _tensor_desc(ref: TensorRef, precision: Precision, config: HardwareConfig) -> TensorDesc:
+    """Mirror of runtime ``_write_tensor`` + unit ``parse_tensor``."""
+    atom = config.atom_channels(ref.precision)
+    c, h, w = ref.shape
+    line, surf = feature_strides((c, h, w), atom, ref.precision)
+    return TensorDesc(
+        address=ref.require_address(),
+        width=w,
+        height=h,
+        channels=c,
+        precision=precision,
+        line_stride=line,
+        surf_stride=surf,
+    )
+
+
+def _conv_descriptors(
+    op: ConvOp, loadable: Loadable, config: HardwareConfig
+) -> tuple[ConvDescriptor, SdpDescriptor]:
+    k, c, r, s = op.kernel_shape
+    _, out_h, out_w = op.output.shape
+    pad_top, pad_bottom, pad_left, pad_right = op.pad
+    conv = ConvDescriptor(
+        input=_tensor_desc(op.input, op.precision, config),
+        weight_address=loadable.weight_base + (op.weight_offset or 0),
+        kernel_k=k,
+        kernel_c=c,
+        kernel_r=r,
+        kernel_s=s,
+        stride_x=op.stride[1],
+        stride_y=op.stride[0],
+        pad_left=pad_left,
+        pad_top=pad_top,
+        pad_right=pad_right,
+        pad_bottom=pad_bottom,
+        precision=op.precision,
+        out_width=out_w,
+        out_height=out_h,
+    )
+    sdp = _sdp_descriptor(op, loadable, config, source=SdpSource.FLYING)
+    return conv, sdp
+
+
+def _sdp_descriptor(
+    op: ConvOp | SdpOp,
+    loadable: Loadable,
+    config: HardwareConfig,
+    source: SdpSource,
+) -> SdpDescriptor:
+    eltwise = getattr(op, "eltwise", None)
+    eltwise_input = None
+    if eltwise is not None:
+        assert op.eltwise_input is not None
+        eltwise_input = _tensor_desc(op.eltwise_input, op.precision, config)
+    bias_address = None
+    if isinstance(op, ConvOp) and op.bias_offset is not None:
+        bias_address = loadable.weight_base + op.bias_offset
+    input_desc = None
+    if source is SdpSource.MEMORY:
+        input_desc = _tensor_desc(op.input, op.precision, config)
+    return SdpDescriptor(
+        source=source,
+        output=_tensor_desc(op.output, op.output.precision, config),
+        out_precision=op.output.precision,
+        input=input_desc,
+        bias_address=bias_address,
+        eltwise=EltwiseOp.NONE if eltwise is None else _ELTWISE[eltwise],
+        eltwise_input=eltwise_input,
+        relu=op.relu,
+        cvt_multiplier=op.cvt_mult or 1,
+        cvt_shift=op.cvt_shift,
+        ew_cvt_multiplier=getattr(op, "ew_cvt_mult", 1) or 1,
+        ew_cvt_shift=getattr(op, "ew_cvt_shift", 0),
+    )
+
+
+def _lower_one(op: HwOp, loadable: Loadable, config: HardwareConfig) -> FastPathOp:
+    if isinstance(op, ConvOp):
+        conv, sdp = _conv_descriptors(op, loadable, config)
+        return FastPathOp(op.name, "conv", "SDP", sdp, conv=conv)
+    if isinstance(op, SdpOp):
+        sdp = _sdp_descriptor(op, loadable, config, source=SdpSource.MEMORY)
+        return FastPathOp(op.name, "sdp", "SDP", sdp)
+    if isinstance(op, PoolOp):
+        pad_top, pad_bottom, pad_left, pad_right = op.pad
+        desc = PdpDescriptor(
+            input=_tensor_desc(op.input, op.precision, config),
+            output=_tensor_desc(op.output, op.precision, config),
+            mode=_POOL[op.mode],
+            kernel_w=op.kernel[1],
+            kernel_h=op.kernel[0],
+            stride_x=op.stride[1],
+            stride_y=op.stride[0],
+            pad_left=pad_left,
+            pad_top=pad_top,
+            pad_right=pad_right,
+            pad_bottom=pad_bottom,
+        )
+        return FastPathOp(op.name, "pdp", "PDP", desc)
+    if isinstance(op, LrnOp):
+        desc = CdpDescriptor(
+            input=_tensor_desc(op.input, op.precision, config),
+            output=_tensor_desc(op.output, op.precision, config),
+            local_size=op.local_size,
+            # Floats reach the engine as IEEE-754 register bit patterns;
+            # round-trip them so estimates match the programmed values.
+            alpha=bits_to_f32(f32_to_bits(op.alpha)),
+            beta=bits_to_f32(f32_to_bits(op.beta)),
+            k=bits_to_f32(f32_to_bits(op.k)),
+        )
+        return FastPathOp(op.name, "cdp", "CDP", desc)
+    raise ConfigurationError(f"fast path cannot lower op kind {op.kind!r}")
+
+
+def lower_loadable(loadable: Loadable, config: HardwareConfig) -> list[FastPathOp]:
+    """Lower every hardware op of a loadable to engine descriptors."""
+    if not config.supports(loadable.precision):
+        raise ConfigurationError(
+            f"{config.name} does not support {loadable.precision.value}"
+        )
+    return [
+        _lower_one(op, loadable, config)
+        for op in loadable.schedule.ops
+        if not isinstance(op, CpuSoftmaxOp)
+    ]
+
+
+def execute_op(
+    op: FastPathOp,
+    config: HardwareConfig,
+    mcif: Mcif,
+    weight_cache: dict | None = None,
+) -> None:
+    """Run one lowered op through the unit kernels (moves real bytes)."""
+    if op.kind == "conv":
+        assert op.conv is not None
+        acc = conv_pipeline.execute(op.conv, config, mcif, weight_cache=weight_cache)
+        sdp_mod.execute(op.descriptor, config, mcif, flying_input=acc)
+    elif op.kind == "sdp":
+        sdp_mod.execute(op.descriptor, config, mcif)
+    elif op.kind == "pdp":
+        pdp_mod.execute(op.descriptor, config, mcif)
+    elif op.kind == "cdp":
+        cdp_mod.execute(op.descriptor, config, mcif)
+    else:  # pragma: no cover - lower_loadable only emits the four kinds
+        raise ConfigurationError(f"unknown fast-path op kind {op.kind!r}")
+
+
+def op_timing(
+    op: FastPathOp,
+    config: HardwareConfig,
+    cbuf: Cbuf,
+    mcif: Mcif,
+    params: TimingParams,
+) -> OpTiming:
+    """Price one lowered op with the engine's analytic model."""
+    if op.kind == "conv":
+        assert op.conv is not None
+        return conv_op_timing(op.conv, op.descriptor, config, cbuf, mcif, params)
+    if op.kind == "sdp":
+        return sdp_op_timing(op.descriptor, config, mcif, params)
+    if op.kind == "pdp":
+        return pdp_op_timing(op.descriptor, config, mcif, params)
+    if op.kind == "cdp":
+        return cdp_op_timing(op.descriptor, config, mcif, params)
+    raise ConfigurationError(f"unknown fast-path op kind {op.kind!r}")  # pragma: no cover
+
+
+def pack_input(
+    loadable: Loadable, config: HardwareConfig, image: np.ndarray
+) -> tuple[int, bytes]:
+    """Quantise/cast and pack a fresh input exactly like the VP runtime.
+
+    Returns ``(address, packed_bytes)`` ready to overwrite the input
+    region; shared by the fast path and the serve-layer SoC workers so
+    every execution tier feeds the hardware identical bytes.
+    """
+    ref = loadable.input_tensor
+    if tuple(image.shape) != tuple(ref.shape):
+        raise ConfigurationError(
+            f"input shape {image.shape} != network input {ref.shape}"
+        )
+    if ref.precision is Precision.INT8:
+        q = np.clip(np.rint(image / ref.scale), -128, 127).astype(np.int8)
+    else:
+        q = image.astype(np.float16)
+    atom = config.atom_channels(ref.precision)
+    return ref.require_address(), pack_feature(q, atom, ref.precision)
+
+
+def estimate_op_timings(
+    loadable: Loadable,
+    config: HardwareConfig,
+    mcif: Mcif,
+    params: TimingParams | None = None,
+) -> list[OpTiming]:
+    """Per-op cycle estimates for a whole loadable.
+
+    Uses the same timing functions the engine schedules completions
+    with, so for a given memory port the totals are *equal to* the
+    cycle-accurate per-op latencies, not an approximation of them.
+    """
+    params = params or TimingParams()
+    cbuf = Cbuf(config)
+    return [
+        op_timing(op, config, cbuf, mcif, params)
+        for op in lower_loadable(loadable, config)
+    ]

@@ -6,13 +6,20 @@ bare-metal artefacts on a pool of reusable simulated SoCs.
 
 - :class:`BundleCache` — the offline flow runs once per deployment.
 - :class:`RequestScheduler` — fair per-deployment batching.
-- :class:`WorkerPool` / :class:`SocWorker` — SoC reuse across runs.
+- :class:`WorkerPool` / :class:`SocWorker` / :class:`FastPathWorker` —
+  reusable execution tiers: cycle-accurate SoCs and the calibrated
+  fast path (``DeploymentSpec(execution_mode="fast")``).
 - :class:`InferenceService` — the facade; :class:`ServiceMetrics` for
-  throughput / latency percentiles / hit rates.
+  throughput / latency percentiles / hit rates, per deployment.
 """
 
 from repro.serve.cache import BundleCache, BundleCacheStats, shared_cache
-from repro.serve.metrics import LatencySummary, ServiceMetrics, percentile
+from repro.serve.metrics import (
+    DeploymentMetrics,
+    LatencySummary,
+    ServiceMetrics,
+    percentile,
+)
 from repro.serve.request import (
     DeploymentSpec,
     InferenceRequest,
@@ -22,13 +29,21 @@ from repro.serve.request import (
 )
 from repro.serve.scheduler import Batch, RequestScheduler
 from repro.serve.service import InferenceService
-from repro.serve.workers import SocWorker, WorkerPool, hardware_key, pack_input_image
+from repro.serve.workers import (
+    FastPathWorker,
+    SocWorker,
+    WorkerPool,
+    hardware_key,
+    pack_input_image,
+)
 
 __all__ = [
     "Batch",
     "BundleCache",
     "BundleCacheStats",
+    "DeploymentMetrics",
     "DeploymentSpec",
+    "FastPathWorker",
     "InferenceRequest",
     "InferenceResponse",
     "InferenceService",

@@ -46,6 +46,29 @@ class LatencySummary:
 
 
 @dataclass
+class DeploymentMetrics:
+    """Per-deployment slice of the service counters.
+
+    Keyed by :meth:`DeploymentSpec.describe`, so mixed-mode services
+    (fast and cycle-accurate tiers side by side) report each tier's
+    traffic and latency separately — the two tiers serve identical
+    tensors but live on different wall-clock scales.
+    """
+
+    requests: int = 0
+    failures: int = 0
+    wall_seconds: float = 0.0
+    wall_latencies: list[float] = field(default_factory=list)
+    cycle_latencies: list[float] = field(default_factory=list)
+
+    def wall_summary(self) -> LatencySummary:
+        return LatencySummary.of(self.wall_latencies)
+
+    def cycle_summary(self) -> LatencySummary:
+        return LatencySummary.of(self.cycle_latencies)
+
+
+@dataclass
 class ServiceMetrics:
     """Counters accumulated across a service lifetime."""
 
@@ -60,14 +83,25 @@ class ServiceMetrics:
     elapsed_seconds: float = 0.0  # end-to-end serve() time
     wall_latencies: list[float] = field(default_factory=list)
     cycle_latencies: list[float] = field(default_factory=list)
+    per_deployment: dict[str, DeploymentMetrics] = field(default_factory=dict)
 
-    def record(self, wall_seconds: float, cycles: int, ok: bool) -> None:
+    def record(
+        self, wall_seconds: float, cycles: int, ok: bool, deployment: str | None = None
+    ) -> None:
         self.requests += 1
         if not ok:
             self.failures += 1
         self.wall_latencies.append(wall_seconds)
         self.cycle_latencies.append(float(cycles))
         self.wall_seconds_total += wall_seconds
+        if deployment is not None:
+            slice_ = self.per_deployment.setdefault(deployment, DeploymentMetrics())
+            slice_.requests += 1
+            if not ok:
+                slice_.failures += 1
+            slice_.wall_seconds += wall_seconds
+            slice_.wall_latencies.append(wall_seconds)
+            slice_.cycle_latencies.append(float(cycles))
 
     @property
     def cache_hit_rate(self) -> float:
@@ -101,4 +135,13 @@ class ServiceMetrics:
             f"max {wall.max * 1e3:.1f} ms",
             f"SoC latency: p50 {cyc.p50:,.0f} cycles  p99 {cyc.p99:,.0f} cycles",
         ]
+        for name in sorted(self.per_deployment):
+            slice_ = self.per_deployment[name]
+            wall_slice = slice_.wall_summary()
+            lines.append(
+                f"  {name}: {slice_.requests} requests "
+                f"({slice_.failures} failed)  "
+                f"wall p50 {wall_slice.p50 * 1e3:.1f} ms  "
+                f"cycles p50 {slice_.cycle_summary().p50:,.0f}"
+            )
         return "\n".join(lines)

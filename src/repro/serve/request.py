@@ -35,7 +35,14 @@ def make_input_for(net: Network, rng: np.random.Generator) -> np.ndarray:
 
 @dataclass(frozen=True)
 class DeploymentSpec:
-    """One unique (model, hardware, precision) service target."""
+    """One unique (model, hardware, precision) service target.
+
+    ``execution_mode`` picks the serving tier: ``"cycle_accurate"``
+    replays bundles on a full simulated SoC (ISS + buses), ``"fast"``
+    uses the calibrated functional tier
+    (:class:`~repro.core.fastpath.FastPathExecutor`) — same artefacts,
+    bit-identical outputs, analytic cycles.
+    """
 
     model: str
     config: str = "nv_small"
@@ -43,15 +50,19 @@ class DeploymentSpec:
     fidelity: str = "functional"
     frequency_hz: float = 100e6
     memory_bus_width_bits: int = 32
+    execution_mode: str = "cycle_accurate"
 
     def __post_init__(self) -> None:
         if self.fidelity not in ("functional", "timing"):
             raise ReproError(f"unknown fidelity {self.fidelity!r}")
+        if self.execution_mode not in ("cycle_accurate", "fast"):
+            raise ReproError(f"unknown execution mode {self.execution_mode!r}")
 
     def describe(self) -> str:
+        mode = "" if self.execution_mode == "cycle_accurate" else f"+{self.execution_mode}"
         return (
             f"{self.model}/{self.config}/{self.precision.value}"
-            f"@{self.frequency_hz / 1e6:g}MHz"
+            f"@{self.frequency_hz / 1e6:g}MHz{mode}"
         )
 
 

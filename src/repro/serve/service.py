@@ -19,6 +19,7 @@ import time
 import numpy as np
 
 from repro.baremetal.pipeline import BaremetalBundle
+from repro.core.calibration import CalibrationTable
 from repro.serve.cache import BundleCache
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.request import (
@@ -40,10 +41,11 @@ class InferenceService:
         max_batch_size: int = 8,
         workers_per_key: int = 1,
         input_seed: int = 7,
+        calibration: CalibrationTable | None = None,
     ) -> None:
         self.cache = cache or BundleCache()
         self.scheduler = RequestScheduler(max_batch_size=max_batch_size)
-        self.pool = WorkerPool(workers_per_key=workers_per_key)
+        self.pool = WorkerPool(workers_per_key=workers_per_key, calibration=calibration)
         self.metrics = ServiceMetrics()
         # One seeded generator for every input the service synthesises,
         # so a whole service run is reproducible end to end.
@@ -99,7 +101,9 @@ class InferenceService:
             result = worker.run(bundle, input_image=image)
             wall = time.perf_counter() - began
             worker.stats.busy_seconds += wall
-            self.metrics.record(wall, result.cycles, result.ok)
+            self.metrics.record(
+                wall, result.cycles, result.ok, deployment=batch.deployment.describe()
+            )
             responses.append(
                 InferenceResponse(
                     request_id=request.request_id,

@@ -1,8 +1,17 @@
-"""Simulated-SoC workers: build once, serve many inferences.
+"""Serving workers: build once, serve many inferences.
 
-A :class:`SocWorker` owns one :class:`~repro.core.soc.Soc` and replays
-bundles on it.  Workers are keyed by the *hardware* point only (config,
-frequency, fidelity, memory width) — the SoC is model-agnostic, since
+Two worker tiers share one interface (``run(bundle, input_image)`` →
+:class:`~repro.core.soc.SocRunResult`):
+
+- :class:`SocWorker` owns one cycle-accurate
+  :class:`~repro.core.soc.Soc` and replays bundles on it;
+- :class:`FastPathWorker` owns one calibrated
+  :class:`~repro.core.fastpath.FastPathExecutor` — no ISS, no bus
+  transactions, outputs bit-identical to the SoC tier with cycles
+  from the analytic model.
+
+Workers are keyed by the *hardware* point plus execution mode (config,
+frequency, fidelity, memory width, mode) — never the model, since
 every run reloads program memory and preload images — so one worker
 serves interleaved models on the same hardware.
 
@@ -21,29 +30,30 @@ import numpy as np
 
 from repro.baremetal.image import BinImage
 from repro.baremetal.pipeline import BaremetalBundle
+from repro.core.calibration import CalibrationTable
+from repro.core.fastpath import FastPathExecutor
 from repro.core.soc import Soc, SocRunResult
 from repro.errors import ReproError
-from repro.nvdla.config import Precision, get_config
-from repro.nvdla.layout import pack_feature
+from repro.nvdla.config import get_config
+from repro.nvdla.fastpath import pack_input
 from repro.serve.request import DeploymentSpec
 
 
 def hardware_key(spec: DeploymentSpec) -> tuple:
     """The worker-sharing key: deployment minus the model."""
-    return (spec.config, spec.frequency_hz, spec.fidelity, spec.memory_bus_width_bits)
+    return (
+        spec.config,
+        spec.frequency_hz,
+        spec.fidelity,
+        spec.memory_bus_width_bits,
+        spec.execution_mode,
+    )
 
 
 def pack_input_image(bundle: BaremetalBundle, image: np.ndarray) -> BinImage:
     """Quantise/cast and pack a fresh input the way the VP runtime does."""
-    ref = bundle.loadable.input_tensor
-    if tuple(image.shape) != tuple(ref.shape):
-        raise ReproError(f"input shape {image.shape} != network input {ref.shape}")
-    if ref.precision is Precision.INT8:
-        q = np.clip(np.rint(image / ref.scale), -128, 127).astype(np.int8)
-    else:
-        q = image.astype(np.float16)
-    atom = get_config(bundle.config).atom_channels(ref.precision)
-    return BinImage("input.bin", ref.require_address(), pack_feature(q, atom, ref.precision))
+    address, data = pack_input(bundle.loadable, get_config(bundle.config), image)
+    return BinImage("input.bin", address, data)
 
 
 @dataclass
@@ -101,29 +111,68 @@ class SocWorker:
         return result
 
 
+class FastPathWorker:
+    """One reusable calibrated fast-path executor.
+
+    The executor refuses bundles whose (model, config, precision) was
+    never calibrated — see
+    :meth:`repro.core.calibration.CalibrationTable.require` — so a
+    service cannot silently serve uncalibrated estimates.
+    """
+
+    def __init__(
+        self, worker_id: int, spec: DeploymentSpec, calibration: CalibrationTable | None
+    ) -> None:
+        self.worker_id = worker_id
+        self.key = hardware_key(spec)
+        self.executor = FastPathExecutor(
+            get_config(spec.config),
+            frequency_hz=spec.frequency_hz,
+            calibration=calibration,
+            memory_bus_width_bits=spec.memory_bus_width_bits,
+        )
+        self.stats = WorkerStats()
+
+    def run(
+        self, bundle: BaremetalBundle, input_image: np.ndarray | None = None
+    ) -> SocRunResult:
+        result = self.executor.run(bundle, input_image=input_image)
+        self.stats.runs += 1
+        return result
+
+
 class WorkerPool:
     """Lazily built, hardware-keyed pool of reusable workers.
 
     ``workers_per_key`` > 1 round-robins successive runs of one
-    hardware point over several SoC instances — the single-process
-    stand-in for a sharded fleet.
+    hardware point over several worker instances — the single-process
+    stand-in for a sharded fleet.  ``calibration`` is handed to every
+    fast-path worker the pool creates.
     """
 
-    def __init__(self, workers_per_key: int = 1) -> None:
+    def __init__(
+        self, workers_per_key: int = 1, calibration: CalibrationTable | None = None
+    ) -> None:
         if workers_per_key <= 0:
             raise ReproError("pool needs at least one worker per hardware point")
         self.workers_per_key = workers_per_key
-        self._workers: dict[tuple, list[SocWorker]] = {}
+        self.calibration = calibration
+        self._workers: dict[tuple, list[SocWorker | FastPathWorker]] = {}
         self._cursor: dict[tuple, int] = {}
         self._next_id = 0
         self.created = 0
         self.reused = 0
 
-    def worker_for(self, spec: DeploymentSpec) -> SocWorker:
+    def _make_worker(self, spec: DeploymentSpec) -> SocWorker | FastPathWorker:
+        if spec.execution_mode == "fast":
+            return FastPathWorker(self._next_id, spec, self.calibration)
+        return SocWorker(self._next_id, spec)
+
+    def worker_for(self, spec: DeploymentSpec) -> SocWorker | FastPathWorker:
         key = hardware_key(spec)
         lane = self._workers.setdefault(key, [])
         if len(lane) < self.workers_per_key:
-            worker = SocWorker(self._next_id, spec)
+            worker = self._make_worker(spec)
             self._next_id += 1
             lane.append(worker)
             self.created += 1
@@ -133,5 +182,5 @@ class WorkerPool:
         self.reused += 1
         return lane[index]
 
-    def all_workers(self) -> list[SocWorker]:
+    def all_workers(self) -> list[SocWorker | FastPathWorker]:
         return [w for lane in self._workers.values() for w in lane]

@@ -1,22 +1,35 @@
-"""Golden-trace regression: the LeNet-5/nv_small configuration file.
+"""Golden-trace regression: pinned configuration files.
 
-The checked-in fixture ``golden/lenet5_nv_small.cfg`` snapshots the
-``ConfigCommand`` sequence that ``trace_to_config`` produces for the
-default flow (seed 2024).  Compiler, VP or codegen changes that alter
-the register program — reordering, different addresses, different poll
-masks — fail here instead of silently drifting the deployed artefacts.
+The checked-in fixtures snapshot the ``ConfigCommand`` sequences that
+``trace_to_config`` produces for the default flow (seed 2024), one per
+hardware class:
 
-If a change is *intentional*, regenerate the fixture::
+- ``golden/lenet5_nv_small.cfg`` — the small INT8 build (Table II),
+- ``golden/resnet18_nv_full.cfg`` — the large FP16 build (Table III),
+  covering the wide-atom packing and FP16 register programming the
+  nv_small fixture cannot see.
+
+Compiler, VP or codegen changes that alter a register program —
+reordering, different addresses, different poll masks — fail here
+instead of silently drifting the deployed artefacts.
+
+If a change is *intentional*, regenerate a fixture::
 
     PYTHONPATH=src python - <<'EOF'
     from repro.baremetal import generate_baremetal
     from repro.baremetal.config_file import render_config_file
-    from repro.nn.zoo import lenet5
-    from repro.nvdla import NV_SMALL
-    bundle = generate_baremetal(lenet5(), NV_SMALL)
-    open("tests/baremetal/golden/lenet5_nv_small.cfg", "w").write(
-        render_config_file(bundle.commands,
-        header="golden configuration file: lenet5 on nv_small (int8), seed 2024"))
+    from repro.nn.zoo import lenet5, resnet18_cifar
+    from repro.nvdla import NV_FULL, NV_SMALL
+    from repro.nvdla.config import Precision
+    for net, config, precision, name in (
+        (lenet5(), NV_SMALL, Precision.INT8, "lenet5_nv_small"),
+        (resnet18_cifar(), NV_FULL, Precision.FP16, "resnet18_nv_full"),
+    ):
+        bundle = generate_baremetal(net, config, precision=precision)
+        open(f"tests/baremetal/golden/{name}.cfg", "w").write(
+            render_config_file(bundle.commands,
+            header=f"golden configuration file: {bundle.network} on "
+                   f"{config.name} ({precision.value}), seed 2024"))
     EOF
 """
 
@@ -28,35 +41,56 @@ import pytest
 
 from repro.baremetal import generate_baremetal
 from repro.baremetal.config_file import parse_config_file, render_config_file
-from repro.nn.zoo import lenet5
-from repro.nvdla import NV_SMALL
+from repro.nn.zoo import lenet5, resnet18_cifar
+from repro.nvdla import NV_FULL, NV_SMALL
+from repro.nvdla.config import Precision
 
-GOLDEN = Path(__file__).parent / "golden" / "lenet5_nv_small.cfg"
-HEADER = "golden configuration file: lenet5 on nv_small (int8), seed 2024"
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+CASES = {
+    "lenet5_nv_small": (
+        lenet5,
+        NV_SMALL,
+        Precision.INT8,
+        "golden configuration file: lenet5 on nv_small (int8), seed 2024",
+    ),
+    "resnet18_nv_full": (
+        resnet18_cifar,
+        NV_FULL,
+        Precision.FP16,
+        "golden configuration file: resnet18 on nv_full (fp16), seed 2024",
+    ),
+}
 
 
-@pytest.fixture(scope="module")
-def lenet_commands():
-    return generate_baremetal(lenet5(), NV_SMALL).commands
+@pytest.fixture(scope="module", params=sorted(CASES))
+def case(request):
+    builder, config, precision, header = CASES[request.param]
+    bundle = generate_baremetal(builder(), config, precision=precision)
+    golden = GOLDEN_DIR / f"{request.param}.cfg"
+    return bundle.commands, golden, header
 
 
-def test_render_is_byte_stable_against_golden(lenet_commands):
-    rendered = render_config_file(lenet_commands, header=HEADER)
-    assert rendered == GOLDEN.read_text(), (
-        "configuration-file drift for lenet5/nv_small — if intentional, "
+def test_render_is_byte_stable_against_golden(case):
+    commands, golden, header = case
+    rendered = render_config_file(commands, header=header)
+    assert rendered == golden.read_text(), (
+        f"configuration-file drift against {golden.name} — if intentional, "
         "regenerate the fixture (see module docstring)"
     )
 
 
-def test_golden_round_trips_through_parser(lenet_commands):
-    parsed = parse_config_file(GOLDEN.read_text())
-    assert parsed == lenet_commands
+def test_golden_round_trips_through_parser(case):
+    commands, golden, _ = case
+    parsed = parse_config_file(golden.read_text())
+    assert parsed == commands
     # And the parse→render cycle is itself stable (modulo the header).
-    assert render_config_file(parsed) == render_config_file(lenet_commands)
+    assert render_config_file(parsed) == render_config_file(commands)
 
 
-def test_golden_command_mix_is_plausible():
-    commands = parse_config_file(GOLDEN.read_text())
+def test_golden_command_mix_is_plausible(case):
+    _, golden, _ = case
+    commands = parse_config_file(golden.read_text())
     writes = [c for c in commands if c.kind == "write_reg"]
     reads = [c for c in commands if c.kind == "read_reg"]
     assert len(writes) > len(reads) > 0

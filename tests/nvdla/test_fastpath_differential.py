@@ -1,0 +1,140 @@
+"""Differential lockdown of the fast execution tier.
+
+For every zoo model on nv_small the calibrated fast path must agree
+with the cycle-accurate reference on both axes the serving layer
+exposes:
+
+- **function** — output tensors bit-identical to a full SoC run of
+  the same bundle (same program, same preloads, same input);
+- **timing** — estimated cycles within ±10 % of the measured
+  cycle-accurate count.
+
+Calibration is deliberately fitted on the two cheap-to-build models
+only; every 224×224-class model is validated out-of-sample, so the
+suite catches an overhead model that merely memorises its calibration
+runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baremetal import generate_baremetal
+from repro.core import FastPathExecutor, Soc, calibrate
+from repro.nn.zoo import ZOO
+from repro.nvdla import NV_SMALL
+from repro.serve.cache import BundleCache
+from repro.serve.request import make_input_for
+
+ERROR_BAND = 0.10
+CALIBRATION_MODELS = ("lenet5", "resnet18")
+
+ZOO_CASES = [
+    pytest.param("lenet5", id="lenet5"),
+    pytest.param("resnet18", id="resnet18"),
+    pytest.param("mobilenet", marks=pytest.mark.slow, id="mobilenet"),
+    pytest.param("googlenet", marks=pytest.mark.slow, id="googlenet"),
+    pytest.param("alexnet", marks=pytest.mark.slow, id="alexnet"),
+    pytest.param("resnet50", marks=pytest.mark.slow, id="resnet50"),
+]
+
+
+@pytest.fixture(scope="module")
+def cache():
+    """Holds the small calibration bundles; big models build per test."""
+    return BundleCache()
+
+
+@pytest.fixture(scope="module")
+def table(cache):
+    return calibrate(CALIBRATION_MODELS, NV_SMALL, cache=cache)
+
+
+def _bundle(model: str, cache: BundleCache):
+    if model in CALIBRATION_MODELS:
+        return cache.bundle_for(model, "nv_small")
+    # 224×224-class bundles are built locally so module memory does not
+    # accumulate all six weight blobs + traces at once.
+    return generate_baremetal(ZOO[model](), NV_SMALL)
+
+
+@pytest.mark.parametrize("model", ZOO_CASES)
+def test_fast_path_matches_cycle_accurate(model, cache, table):
+    bundle = _bundle(model, cache)
+    soc = Soc(NV_SMALL)
+    soc.load_bundle(bundle)
+    reference = soc.run_inference(bundle)
+    assert reference.ok, f"cycle-accurate {model} run failed"
+
+    executor = FastPathExecutor(NV_SMALL, calibration=table)
+    estimate = executor.estimate(bundle)
+    if not table.has(model, "nv_small", "int8"):
+        # Out-of-sample pair: admit it with the *pre-computed* estimate
+        # (admission records the comparison, it cannot influence it).
+        table.admit(model, "nv_small", "int8", reference.cycles, estimate.total_cycles)
+    result = executor.run(bundle)
+    assert result.ok
+
+    # Function: bit-identical output tensors.
+    assert reference.output is not None and result.output is not None
+    assert np.array_equal(reference.output, result.output), (
+        f"{model}: fast-path output diverges from the cycle-accurate SoC"
+    )
+
+    # Timing: the estimate the fast tier *reports* is the gated one.
+    assert result.cycles == estimate.total_cycles
+    error = (result.cycles - reference.cycles) / reference.cycles
+    assert abs(error) <= ERROR_BAND, (
+        f"{model}: estimated {result.cycles:,} vs measured {reference.cycles:,} "
+        f"cycles ({error:+.2%}, band ±{ERROR_BAND:.0%})"
+    )
+
+
+def test_fresh_inputs_stay_bit_identical(cache, table):
+    """Per-request input replacement (the serving path) must agree too."""
+    rng = np.random.default_rng(20260729)
+    from repro.serve.workers import SocWorker
+    from repro.serve.request import DeploymentSpec
+
+    bundle = cache.bundle_for("lenet5", "nv_small")
+    worker = SocWorker(0, DeploymentSpec("lenet5"))
+    executor = FastPathExecutor(NV_SMALL, calibration=table)
+    for _ in range(3):
+        image = make_input_for(ZOO["lenet5"](), rng)
+        reference = worker.run(bundle, input_image=image)
+        fast = executor.run(bundle, input_image=image)
+        assert np.array_equal(reference.output, fast.output)
+
+
+def test_fp16_nv_full_differential(cache):
+    """The wide FP16 build agrees too (64-bit memory path, Table III)."""
+    from repro.nvdla import NV_FULL
+    from repro.nvdla.config import Precision
+
+    table = calibrate(
+        ("lenet5",), NV_FULL, precision=Precision.FP16, cache=cache,
+        memory_bus_width_bits=64,
+    )
+    bundle = cache.bundle_for("resnet18", NV_FULL, precision=Precision.FP16)
+    soc = Soc(NV_FULL, memory_bus_width_bits=64)
+    soc.load_bundle(bundle)
+    reference = soc.run_inference(bundle)
+    executor = FastPathExecutor(NV_FULL, calibration=table, memory_bus_width_bits=64)
+    estimate = executor.estimate(bundle)
+    table.admit(
+        "resnet18", "nv_full", "fp16", reference.cycles, estimate.total_cycles,
+        memory_bus_width_bits=64,
+    )
+    result = executor.run(bundle)
+    assert np.array_equal(reference.output, result.output)
+    assert abs(result.cycles - reference.cycles) / reference.cycles <= ERROR_BAND
+
+
+def test_calibration_entries_within_band(table):
+    """The fitted table itself validates every calibrated pair."""
+    for model in CALIBRATION_MODELS:
+        entry = table.entry(model, "nv_small", "int8")
+        assert entry.within(ERROR_BAND), (
+            f"{model}: calibration error {entry.error:+.2%} outside ±{ERROR_BAND:.0%}"
+        )

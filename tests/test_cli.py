@@ -73,6 +73,43 @@ def test_bench_serve_reports_speedup(capsys):
     assert "speedup" in out and "req/s" in out
 
 
+def test_calibrate_writes_table(tmp_path, capsys):
+    path = tmp_path / "cal.json"
+    code = main(
+        ["calibrate", "--models", "lenet5", "--fidelity", "timing", "--out", str(path)]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert path.exists()
+    assert "fast-path calibration" in out and "lenet5/nv_small/int8" in out
+
+
+def test_serve_fast_mode_with_saved_calibration(tmp_path, capsys):
+    path = tmp_path / "cal.json"
+    assert main(
+        ["calibrate", "--models", "lenet5", "--fidelity", "timing", "--out", str(path)]
+    ) == 0
+    code = main(
+        [
+            "serve", "--models", "lenet5", "--requests", "3",
+            "--fidelity", "timing", "--mode", "fast", "--calibration", str(path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert f"loaded {path}" in out
+    assert "requests: 3" in out
+    assert "+fast" in out  # per-deployment metrics name the tier
+
+
+def test_run_fast_mode_autocalibrates(capsys):
+    code = main(["run", "--model", "lenet5", "--fidelity", "timing", "--mode", "fast"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "calibrating lenet5" in out
+    assert "DONE" in out and "cycles" in out
+
+
 def test_serve_unknown_model_rejected():
     with pytest.raises(SystemExit):
         main(["serve", "--models", "nonexistent"])
