@@ -103,20 +103,28 @@ def test_serving_throughput_nv_small(benchmark, report):
     warm_rps = len(warm_workload) / warm_seconds
     speedup = warm_rps / cold_rps
 
+    # Structured metrics export — the benchmark reads the service's
+    # numbers as data (ServiceMetrics.to_dict), not rendered text.
+    summary = service.metrics.to_dict()
     report(
         "serving throughput — mixed lenet5+resnet18 on nv_small (INT8)\n"
         f"  cold path: {len(cold_workload)} requests in {cold_seconds:.2f} s "
         f"= {cold_rps:.2f} req/s\n"
         f"  served:    {len(warm_workload)} requests in {warm_seconds:.2f} s "
         f"= {warm_rps:.2f} req/s  (one-time builds: {build_seconds:.2f} s)\n"
-        f"  speedup:   {speedup:.1f}x\n\n" + service.metrics.render()
+        f"  speedup:   {speedup:.1f}x\n"
+        f"  cache hit rate {summary['cache_hit_rate'] * 100:.0f}%  "
+        f"wall p99 {summary['wall']['p99'] * 1e3:.1f} ms\n\n"
+        + service.metrics.render()
     )
 
     # Acceptance: >= 5x throughput on repeated same-deployment requests.
     assert speedup >= 5.0, f"cache-hit path only {speedup:.1f}x faster"
     # All repeated requests were cache hits on reused workers.
     assert all(r.cache_hit for r in responses)
-    assert service.metrics.bundle_misses == len(models)
+    assert summary["bundle_misses"] == len(models)
+    assert summary["failures"] == 0
+    assert summary["wall"]["count"] == summary["requests"]
     # Bit-identical to the cold path, request by request.
     for cold_out, warm_out in zip(cold_outputs, warm_outputs):
         assert cold_out is not None and warm_out is not None

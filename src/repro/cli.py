@@ -10,6 +10,7 @@ Exposes the flows a downstream user runs most::
     python -m repro serve --models lenet5,resnet18 --requests 32
     python -m repro serve --mode fast --calibration cal.json
     python -m repro bench-serve --requests 8
+    python -m repro bench-cluster --policy all --arrival poisson --rps 100 --seed 7
     python -m repro calibrate --models lenet5,resnet18 --out cal.json
     python -m repro synth --config nv_full
     python -m repro sanity --trace conv
@@ -186,6 +187,19 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     return 0 if result.fits else 2
 
 
+def _parse_models(models_arg: str) -> list[str]:
+    """Validated zoo-model list from a comma-separated CLI value."""
+    from repro.nn.zoo import ZOO
+
+    models = [m.strip() for m in models_arg.split(",") if m.strip()]
+    if not models:
+        raise SystemExit("--models needs at least one zoo model")
+    unknown = [m for m in models if m not in ZOO]
+    if unknown:
+        raise SystemExit(f"unknown zoo model(s) {unknown}; known: {sorted(ZOO)}")
+    return models
+
+
 def _build_workload(args: argparse.Namespace):
     """Round-robin mixed-model request list from the CLI options."""
     import numpy as np
@@ -193,12 +207,7 @@ def _build_workload(args: argparse.Namespace):
     from repro.nn.zoo import ZOO
     from repro.serve import DeploymentSpec, make_input_for
 
-    models = [m.strip() for m in args.models.split(",") if m.strip()]
-    if not models:
-        raise SystemExit("--models needs at least one zoo model")
-    unknown = [m for m in models if m not in ZOO]
-    if unknown:
-        raise SystemExit(f"unknown zoo model(s) {unknown}; known: {sorted(ZOO)}")
+    models = _parse_models(args.models)
     deployments = [
         DeploymentSpec(
             model,
@@ -239,10 +248,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     # The shared cache keeps fast-mode calibration (which already built
     # every deployment's bundle) and the service on one set of builds.
+    # One --seed drives both the workload inputs and anything the
+    # service synthesises itself, so a serve run replays exactly.
     service = InferenceService(
         cache=shared_cache(),
         max_batch_size=args.batch_size,
         workers_per_key=args.workers,
+        input_seed=args.seed,
         calibration=_serve_calibration(args),
     )
     workload = _build_workload(args)
@@ -285,12 +297,16 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         calibration = _serve_calibration(args)
         cache = shared_cache()  # calibration already built these bundles
         baseline = InferenceService(
-            cache=cache, max_batch_size=args.batch_size, workers_per_key=args.workers
+            cache=cache,
+            max_batch_size=args.batch_size,
+            workers_per_key=args.workers,
+            input_seed=args.seed,
         )
         fast_service = InferenceService(
             cache=cache,
             max_batch_size=args.batch_size,
             workers_per_key=args.workers,
+            input_seed=args.seed,
             calibration=calibration,
         )
         results = {}
@@ -335,7 +351,9 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     cold = time.perf_counter() - began
 
     service = InferenceService(
-        max_batch_size=args.batch_size, workers_per_key=args.workers
+        max_batch_size=args.batch_size,
+        workers_per_key=args.workers,
+        input_seed=args.seed,
     )
     began = time.perf_counter()
     for deployment, image in workload:
@@ -351,6 +369,100 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     print(f"speedup: {cold / warm:.1f}x")
     print()
     print(service.metrics.render())
+    return 0
+
+
+def _cluster_deployments(args: argparse.Namespace) -> list:
+    from repro.serve import DeploymentSpec
+
+    return [
+        DeploymentSpec(model, config=args.config, precision=Precision(args.precision))
+        for model in _parse_models(args.models)
+    ]
+
+
+def _cmd_bench_cluster(args: argparse.Namespace) -> int:
+    """Fleet simulation: one workload, one or all routing policies.
+
+    Virtual-time only (no functional execution), so hundreds of
+    requests simulate in seconds; every number is reproducible from
+    ``--seed``.
+    """
+    import json
+
+    from repro.cluster import (
+        POLICIES,
+        AdmissionController,
+        Autoscaler,
+        ClusterSimulation,
+        SloPolicy,
+        generate_workload,
+        load_trace,
+        make_arrivals,
+        make_router,
+        offered_rps,
+    )
+    from repro.serve import shared_cache
+
+    if args.trace:
+        # Virtual-time replay needs no input tensors, so the seed has
+        # nothing to drive: the trace alone fixes the workload.
+        workload = load_trace(args.trace)
+        arrival_name = f"trace:{args.trace}"
+    else:
+        arrivals = make_arrivals(args.arrival, args.rps)
+        workload = generate_workload(
+            arrivals, _cluster_deployments(args), args.requests, seed=args.seed
+        )
+        arrival_name = args.arrival
+    slo = SloPolicy(
+        slo_latency_s=args.slo_ms / 1e3,
+        max_rejection_rate=args.max_rejection_rate,
+        max_queue_depth=args.queue_depth,
+    )
+    autoscaler = None
+    if args.autoscale:
+        autoscaler = Autoscaler(
+            min_replicas=args.replicas,
+            max_replicas=args.max_replicas,
+            target_p99_s=args.slo_ms / 1e3,
+        )
+    policies = sorted(POLICIES) if args.policy == "all" else [args.policy]
+    print(
+        f"simulating {len(workload)} requests ({arrival_name}, "
+        f"{offered_rps(workload):.1f} rps offered) on {args.replicas} replica(s), "
+        f"seed {args.seed}..."
+    )
+    cache = shared_cache()
+    summaries = {}
+    for policy in policies:
+        simulation = ClusterSimulation(
+            make_router(policy),
+            replicas=args.replicas,
+            admission=AdmissionController(slo),
+            autoscaler=autoscaler,
+            cache=cache,
+            resident_capacity=args.resident_capacity,
+        )
+        metrics = simulation.run(workload).metrics
+        metrics.arrival_name = arrival_name
+        summaries[policy] = metrics
+        print()
+        print(metrics.render())
+    if len(summaries) > 1:
+        print()
+        print(f"{'policy':<18} {'goodput':>8} {'p99 ms':>8} {'hit %':>6} {'rej %':>6}")
+        for policy, metrics in summaries.items():
+            print(
+                f"{policy:<18} {metrics.goodput_rps:>8.1f} "
+                f"{metrics.latency_summary().p99 * 1e3:>8.1f} "
+                f"{metrics.resident_hit_rate * 100:>6.0f} "
+                f"{metrics.rejection_rate * 100:>6.1f}"
+            )
+    if args.out:
+        payload = {policy: metrics.to_dict() for policy, metrics in summaries.items()}
+        Path(args.out).write_text(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"\nmetrics written to {args.out}")
     return 0
 
 
@@ -450,6 +562,46 @@ def build_parser() -> argparse.ArgumentParser:
         serve.add_argument("--calibration", default=None,
                            help="calibration table JSON to load/save for --mode fast")
 
+    cluster = sub.add_parser(
+        "bench-cluster",
+        help="simulate a replica fleet under load, per routing policy",
+    )
+    cluster.add_argument("--models", default="lenet5,resnet18",
+                         help="comma-separated zoo models (the workload mix)")
+    cluster.add_argument("--config", default="nv_small", choices=sorted(CONFIGS))
+    cluster.add_argument("--precision", default="int8",
+                         choices=[p.value for p in Precision])
+    cluster.add_argument("--policy", default="all",
+                         choices=["all", "cache_affinity", "least_outstanding",
+                                  "round_robin"],
+                         help="routing policy (or all, for a comparison table)")
+    cluster.add_argument("--arrival", default="poisson",
+                         choices=["constant", "poisson", "bursty"],
+                         help="arrival process of the open-loop workload")
+    cluster.add_argument("--rps", type=float, default=100.0,
+                         help="offered request rate (base rate for bursty)")
+    cluster.add_argument("--requests", type=int, default=300)
+    cluster.add_argument("--replicas", type=int, default=2,
+                         help="initial fleet size (autoscaler minimum)")
+    cluster.add_argument("--resident-capacity", type=int, default=8,
+                         help="bundles each replica keeps warm (the fast-path LRU)")
+    cluster.add_argument("--autoscale", action="store_true",
+                         help="enable the SLO-aware autoscaler")
+    cluster.add_argument("--max-replicas", type=int, default=8)
+    cluster.add_argument("--slo-ms", type=float, default=100.0,
+                         help="latency SLO (goodput cut-off and autoscaler target)")
+    cluster.add_argument("--queue-depth", type=int, default=16,
+                         help="admission control: shed past this per-replica depth")
+    cluster.add_argument("--max-rejection-rate", type=float, default=0.05,
+                         help="fleet SLO on the shed fraction (reported)")
+    cluster.add_argument("--seed", type=int, default=7,
+                         help="one seed drives generated arrivals and the model "
+                              "mix (unused with --trace: the trace is the workload)")
+    cluster.add_argument("--trace", default=None,
+                         help="replay a JSONL trace instead of generating arrivals")
+    cluster.add_argument("--out", default=None,
+                         help="write per-policy metrics JSON to this path")
+
     cal = sub.add_parser(
         "calibrate",
         help="fit + validate the fast-path cycle model against cycle-accurate runs",
@@ -490,6 +642,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "bench-serve":
         return _cmd_bench_serve(args)
+    if args.command == "bench-cluster":
+        return _cmd_bench_cluster(args)
     if args.command == "calibrate":
         return _cmd_calibrate(args)
     if args.command == "sanity":

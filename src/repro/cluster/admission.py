@@ -1,0 +1,88 @@
+"""SLO-aware admission control: shed load the fleet cannot serve well.
+
+An open-loop arrival process does not slow down when the fleet
+saturates; without shedding, queues (and p99) grow without bound.  The
+controller rejects a request up front — the 429 of this simulation —
+when *no* live replica could serve it acceptably:
+
+- ``max_queue_depth`` — every live replica already has at least this
+  many requests outstanding (queue-depth shedding);
+- ``latency_budget_s`` — even the least-backlogged replica could not
+  finish the request inside the budget (estimated-latency shedding,
+  priced from the request's deterministic service-time estimate).
+
+Rejections are recorded per reason in
+:class:`~repro.cluster.metrics.ClusterMetrics`; the fleet-level SLO on
+the *rate* of rejections (``SloPolicy.max_rejection_rate``) is what
+the autoscaler is sized against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """The fleet's service-level objectives and shedding thresholds."""
+
+    #: Completed requests count toward goodput only under this latency.
+    slo_latency_s: float = 0.25
+    #: Fleet-level objective on the shed fraction (reported + asserted).
+    max_rejection_rate: float = 0.05
+    #: Reject when every live replica has this many requests in flight.
+    max_queue_depth: int | None = 16
+    #: Reject when even the best replica would miss this completion
+    #: budget (``None`` disables estimated-latency shedding).
+    latency_budget_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.slo_latency_s <= 0:
+            raise ReproError("SLO latency must be positive")
+        if not 0 <= self.max_rejection_rate <= 1:
+            raise ReproError("rejection-rate SLO must be in [0, 1]")
+        if self.max_queue_depth is not None and self.max_queue_depth <= 0:
+            raise ReproError("queue depth limit must be positive")
+        if self.latency_budget_s is not None and self.latency_budget_s <= 0:
+            raise ReproError("latency budget must be positive")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    admitted: bool
+    reason: str | None = None  # "no_replicas" | "queue_full" | "latency_budget"
+
+
+ADMITTED = AdmissionDecision(admitted=True)
+
+
+class AdmissionController:
+    """Applies one :class:`SloPolicy` ahead of routing."""
+
+    def __init__(self, policy: SloPolicy | None = None) -> None:
+        self.policy = policy or SloPolicy()
+
+    def admit(
+        self, request, replicas: Sequence, now: float, run_seconds: float
+    ) -> AdmissionDecision:
+        """Admit unless no live replica could serve acceptably.
+
+        ``run_seconds`` is the request's deterministic service-time
+        estimate (warm, excluding warm-up), the same pricing the fleet
+        simulation charges on execution.
+        """
+        if not replicas:
+            return AdmissionDecision(admitted=False, reason="no_replicas")
+        policy = self.policy
+        if policy.max_queue_depth is not None:
+            shallowest = min(r.outstanding(now) for r in replicas)
+            if shallowest >= policy.max_queue_depth:
+                return AdmissionDecision(admitted=False, reason="queue_full")
+        if policy.latency_budget_s is not None:
+            best_wait = min(r.backlog_seconds(now) for r in replicas)
+            if best_wait + run_seconds > policy.latency_budget_s:
+                return AdmissionDecision(admitted=False, reason="latency_budget")
+        return ADMITTED

@@ -1,0 +1,156 @@
+"""SLO-aware replica autoscaling over rolling fleet statistics.
+
+The scaler is evaluated on a fixed virtual-time cadence with a rolling
+window of recently *assigned* work (latency known at assignment in the
+simulation, so a burst registers immediately):
+
+- **scale up** when the window's p99 latency breaches the target or
+  utilisation exceeds ``target_utilization``, sizing the fleet with
+  the proportional rule ``desired = ceil(live · util / target)`` (the
+  Kubernetes-HPA formula) so a hard burst jumps several replicas in
+  one step instead of creeping up one tick at a time;
+- **scale down** when utilisation falls below ``scale_down_utilization``
+  and p99 is comfortably inside the target, one replica per decision.
+
+New replicas come up *cold* after ``provision_delay_s``: an empty
+warm-state LRU (every first bundle pays the warm-up the fast path's
+resident-state model prices) and no backlog — the realistic warm-up
+cost the ISSUE asks scale events to carry.  Cooldowns are separate for
+the two directions (fast attack, slow release).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class FleetSample:
+    """One rolling-window observation handed to the scaler."""
+
+    now: float
+    live_replicas: int
+    p99_latency_s: float
+    utilization: float  # assigned service-seconds / (live · window)
+    max_backlog_s: float
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    desired: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One applied scale decision, for the metrics timeline."""
+
+    at_s: float
+    from_replicas: int
+    to_replicas: int
+    reason: str
+    p99_latency_s: float
+    utilization: float
+
+    def to_dict(self) -> dict:
+        return {
+            "at_s": self.at_s,
+            "from_replicas": self.from_replicas,
+            "to_replicas": self.to_replicas,
+            "reason": self.reason,
+            "p99_latency_s": self.p99_latency_s,
+            "utilization": self.utilization,
+        }
+
+    def render(self) -> str:
+        arrow = "↑" if self.to_replicas > self.from_replicas else "↓"
+        return (
+            f"t={self.at_s:7.2f}s  {self.from_replicas}→{self.to_replicas} {arrow}  "
+            f"{self.reason}  (p99 {self.p99_latency_s * 1e3:.1f} ms, "
+            f"util {self.utilization * 100:.0f}%)"
+        )
+
+
+class Autoscaler:
+    """Rolling p99/utilisation → desired replica count."""
+
+    def __init__(
+        self,
+        min_replicas: int = 1,
+        max_replicas: int = 8,
+        target_p99_s: float = 0.25,
+        target_utilization: float = 0.75,
+        scale_down_utilization: float = 0.30,
+        evaluate_every_s: float = 0.25,
+        window_s: float = 1.0,
+        up_cooldown_s: float = 0.25,
+        down_cooldown_s: float = 2.0,
+        provision_delay_s: float = 0.25,
+        tolerance: float = 0.10,
+    ) -> None:
+        if not 1 <= min_replicas <= max_replicas:
+            raise ReproError("need 1 <= min_replicas <= max_replicas")
+        if not 0 < scale_down_utilization < target_utilization <= 1.5:
+            raise ReproError("need 0 < scale_down_utilization < target_utilization")
+        if evaluate_every_s <= 0 or window_s <= 0:
+            raise ReproError("autoscaler cadence and window must be positive")
+        self.min_replicas = min_replicas
+        self.max_replicas = max_replicas
+        self.target_p99_s = target_p99_s
+        self.target_utilization = target_utilization
+        self.scale_down_utilization = scale_down_utilization
+        self.evaluate_every_s = evaluate_every_s
+        self.window_s = window_s
+        self.up_cooldown_s = up_cooldown_s
+        self.down_cooldown_s = down_cooldown_s
+        self.provision_delay_s = provision_delay_s
+        self.tolerance = tolerance
+        self._last_up_at = -math.inf
+        self._last_down_at = -math.inf
+
+    def reset(self) -> None:
+        self._last_up_at = -math.inf
+        self._last_down_at = -math.inf
+
+    def _proportional_desired(self, sample: FleetSample) -> int:
+        """The HPA rule: size the fleet to hit the target utilisation."""
+        raw = sample.live_replicas * sample.utilization / self.target_utilization
+        return max(1, math.ceil(raw))
+
+    def decide(self, sample: FleetSample) -> ScaleDecision | None:
+        """The applied decision for this tick, or None to hold."""
+        live = sample.live_replicas
+        over_p99 = sample.p99_latency_s > self.target_p99_s
+        over_util = sample.utilization > self.target_utilization * (1 + self.tolerance)
+        if (over_p99 or over_util) and live < self.max_replicas:
+            if sample.now - self._last_up_at < self.up_cooldown_s:
+                return None
+            desired = min(self.max_replicas, max(live + 1, self._proportional_desired(sample)))
+            if desired <= live:
+                return None
+            self._last_up_at = sample.now
+            reason = (
+                f"p99 {sample.p99_latency_s * 1e3:.0f}ms > "
+                f"{self.target_p99_s * 1e3:.0f}ms"
+                if over_p99
+                else f"util {sample.utilization * 100:.0f}% > "
+                f"{self.target_utilization * 100:.0f}%"
+            )
+            return ScaleDecision(desired=desired, reason=reason)
+        under_util = sample.utilization < self.scale_down_utilization
+        p99_ok = sample.p99_latency_s <= self.target_p99_s
+        if under_util and p99_ok and live > self.min_replicas:
+            if sample.now - self._last_down_at < self.down_cooldown_s:
+                return None
+            if sample.now - self._last_up_at < self.down_cooldown_s:
+                return None  # don't flap straight after an attack
+            self._last_down_at = sample.now
+            return ScaleDecision(
+                desired=live - 1,
+                reason=f"util {sample.utilization * 100:.0f}% < "
+                f"{self.scale_down_utilization * 100:.0f}%",
+            )
+        return None

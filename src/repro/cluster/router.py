@@ -1,0 +1,110 @@
+"""Pluggable request routing across fleet replicas.
+
+Every policy answers one question — *which live replica serves this
+request* — from the same observable state: per-replica outstanding
+request counts and virtual backlog (the serve-layer hooks
+:attr:`repro.serve.InferenceService.outstanding` mirrors for real
+services).  Policies:
+
+``round_robin``
+    Dispatch order, ignoring load and locality.  The baseline.
+
+``least_outstanding``
+    The replica with the fewest requests in flight (ties broken by
+    backlog seconds, then replica id).  Classic join-shortest-queue.
+
+``cache_affinity``
+    Rendezvous (highest-random-weight) hashing of the deployment's
+    bundle identity over replica ids: one deployment consistently
+    lands on one replica, so its bundle stays resident in that
+    replica's warm-state LRU and scale events remap a minimal slice
+    of keys.  An optional ``spill_depth`` falls through to the next
+    preference when the owner is saturated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+from repro.errors import ReproError
+
+
+def affinity_score(key: str, replica_id: int) -> int:
+    """Deterministic rendezvous weight of (deployment key, replica)."""
+    digest = hashlib.sha256(f"{key}#{replica_id}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class Router:
+    """Routing-policy interface: pick a live replica for a request."""
+
+    name = "router"
+
+    def route(self, request, replicas: Sequence, now: float):
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget inter-request state (fresh sweep point)."""
+
+
+class RoundRobinRouter(Router):
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def route(self, request, replicas, now):
+        replica = replicas[self._cursor % len(replicas)]
+        self._cursor += 1
+        return replica
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+
+class LeastOutstandingRouter(Router):
+    name = "least_outstanding"
+
+    def route(self, request, replicas, now):
+        return min(
+            replicas,
+            key=lambda r: (r.outstanding(now), r.backlog_seconds(now), r.replica_id),
+        )
+
+
+class CacheAffinityRouter(Router):
+    name = "cache_affinity"
+
+    def __init__(self, spill_depth: int | None = None) -> None:
+        if spill_depth is not None and spill_depth <= 0:
+            raise ReproError("spill depth must be positive")
+        self.spill_depth = spill_depth
+
+    def route(self, request, replicas, now):
+        key = request.deployment.describe()
+        ranked = sorted(
+            replicas,
+            key=lambda r: affinity_score(key, r.replica_id),
+            reverse=True,
+        )
+        if self.spill_depth is not None:
+            for replica in ranked:
+                if replica.outstanding(now) < self.spill_depth:
+                    return replica
+        return ranked[0]
+
+
+#: CLI / config registry of routing policies.
+POLICIES = {
+    "round_robin": RoundRobinRouter,
+    "least_outstanding": LeastOutstandingRouter,
+    "cache_affinity": CacheAffinityRouter,
+}
+
+
+def make_router(name: str, **kwargs) -> Router:
+    """Build a registered routing policy from its CLI name."""
+    if name not in POLICIES:
+        raise ReproError(f"unknown routing policy {name!r} (known: {sorted(POLICIES)})")
+    return POLICIES[name](**kwargs)

@@ -19,7 +19,7 @@ from repro.core.address_map import AddressMap, DEFAULT_MAP
 from repro.core.arbiter import DramArbiter
 from repro.core.calibration import CalibrationEntry, CalibrationTable, OverheadParams
 from repro.core.executor import BaremetalExecutor, RunStats
-from repro.core.fastpath import FastPathEstimate, FastPathExecutor, calibrate
+from repro.core.fastpath import FastPathEstimate, FastPathExecutor, ResidentStats, calibrate
 from repro.core.nvdla_wrapper import NvdlaWrapper
 from repro.core.soc import Soc, SocRunResult
 from repro.core.system_builder import TestSystem, ZynqPreloader
@@ -35,6 +35,7 @@ __all__ = [
     "FastPathExecutor",
     "NvdlaWrapper",
     "OverheadParams",
+    "ResidentStats",
     "RunStats",
     "Soc",
     "SocRunResult",

@@ -81,6 +81,34 @@ def command_counts(bundle: BaremetalBundle) -> tuple[int, int]:
 
 
 @dataclass
+class ResidentStats:
+    """Warm-state accounting of the executor's resident-bundle LRU.
+
+    A *hit* serves from resident state (no lowering, no DRAM preload
+    replay of weights); a *miss* pays the full warm-up.  Fleet
+    simulations (:mod:`repro.cluster`) mirror this LRU to price
+    replica warm-up, and `tests/cluster` pins the two views equal.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
 class _BundleState:
     """Resident serving state for one bundle (multi-tenant worker).
 
@@ -146,6 +174,12 @@ class FastPathExecutor:
             raise ReproError("executor needs at least one resident bundle slot")
         self.max_resident_bundles = max_resident_bundles
         self._states: "OrderedDict[int, _BundleState]" = OrderedDict()
+        self.resident_stats = ResidentStats()
+
+    @property
+    def resident_count(self) -> int:
+        """Bundles currently holding resident serving state."""
+        return len(self._states)
 
     # ------------------------------------------------------------------
     # Estimation.
@@ -213,6 +247,7 @@ class FastPathExecutor:
 
         state = self._states.get(id(bundle))
         if state is None:
+            self.resident_stats.misses += 1
             ops = lower_loadable(bundle.loadable, self.config)
             state = _BundleState(
                 bundle=bundle,
@@ -226,7 +261,9 @@ class FastPathExecutor:
             self._states[id(bundle)] = state
             while len(self._states) > self.max_resident_bundles:
                 self._states.popitem(last=False)
+                self.resident_stats.evictions += 1
         else:
+            self.resident_stats.hits += 1
             self._states.move_to_end(id(bundle))
             self.dram.storage = state.storage
             for image in bundle.images.preload:

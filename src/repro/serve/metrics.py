@@ -44,6 +44,15 @@ class LatencySummary:
             max=max(samples),
         )
 
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
 
 @dataclass
 class DeploymentMetrics:
@@ -66,6 +75,15 @@ class DeploymentMetrics:
 
     def cycle_summary(self) -> LatencySummary:
         return LatencySummary.of(self.cycle_latencies)
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "failures": self.failures,
+            "wall_seconds": self.wall_seconds,
+            "wall": self.wall_summary().to_dict(),
+            "cycles": self.cycle_summary().to_dict(),
+        }
 
 
 @dataclass
@@ -120,6 +138,32 @@ class ServiceMetrics:
     def cycle_summary(self) -> LatencySummary:
         return LatencySummary.of(self.cycle_latencies)
 
+    def to_dict(self) -> dict:
+        """The whole counter surface as JSON-ready data.
+
+        Benchmarks and the cluster aggregator consume this instead of
+        scraping :meth:`render` text.
+        """
+        return {
+            "requests": self.requests,
+            "failures": self.failures,
+            "batches": self.batches,
+            "bundle_hits": self.bundle_hits,
+            "bundle_misses": self.bundle_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "workers_created": self.workers_created,
+            "workers_reused": self.workers_reused,
+            "wall_seconds_total": self.wall_seconds_total,
+            "elapsed_seconds": self.elapsed_seconds,
+            "throughput_rps": self.throughput_rps,
+            "wall": self.wall_summary().to_dict(),
+            "cycles": self.cycle_summary().to_dict(),
+            "per_deployment": {
+                name: slice_.to_dict()
+                for name, slice_ in sorted(self.per_deployment.items())
+            },
+        }
+
     def render(self) -> str:
         wall = self.wall_summary()
         cyc = self.cycle_summary()
@@ -138,10 +182,13 @@ class ServiceMetrics:
         for name in sorted(self.per_deployment):
             slice_ = self.per_deployment[name]
             wall_slice = slice_.wall_summary()
+            cyc_slice = slice_.cycle_summary()
             lines.append(
                 f"  {name}: {slice_.requests} requests "
                 f"({slice_.failures} failed)  "
                 f"wall p50 {wall_slice.p50 * 1e3:.1f} ms  "
-                f"cycles p50 {slice_.cycle_summary().p50:,.0f}"
+                f"p99 {wall_slice.p99 * 1e3:.1f} ms  "
+                f"max {wall_slice.max * 1e3:.1f} ms  "
+                f"cycles p50 {cyc_slice.p50:,.0f}  p99 {cyc_slice.p99:,.0f}"
             )
         return "\n".join(lines)

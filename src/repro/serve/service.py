@@ -42,10 +42,15 @@ class InferenceService:
         workers_per_key: int = 1,
         input_seed: int = 7,
         calibration: CalibrationTable | None = None,
+        max_resident_bundles: int | None = None,
     ) -> None:
         self.cache = cache or BundleCache()
         self.scheduler = RequestScheduler(max_batch_size=max_batch_size)
-        self.pool = WorkerPool(workers_per_key=workers_per_key, calibration=calibration)
+        self.pool = WorkerPool(
+            workers_per_key=workers_per_key,
+            calibration=calibration,
+            max_resident_bundles=max_resident_bundles,
+        )
         self.metrics = ServiceMetrics()
         # One seeded generator for every input the service synthesises,
         # so a whole service run is reproducible end to end.
@@ -67,6 +72,34 @@ class InferenceService:
         self._next_request_id += 1
         self.submit(request)
         return request
+
+    # ------------------------------------------------------------------
+    # Fleet hooks: queue depth and state snapshots for routers /
+    # autoscalers sitting above a pool of services (repro.cluster).
+    # ------------------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        """Requests accepted but not yet served."""
+        return self.scheduler.pending()
+
+    def snapshot(self) -> dict:
+        """JSON-ready state: queue depth, metrics, cache and pool."""
+        return {
+            "outstanding": self.outstanding,
+            "metrics": self.metrics.to_dict(),
+            "cache": {
+                "entries": len(self.cache),
+                "hits": self.cache.stats.hits,
+                "misses": self.cache.stats.misses,
+                "evictions": self.cache.stats.evictions,
+                "build_seconds": self.cache.stats.build_seconds,
+            },
+            "workers": {
+                "created": self.pool.created,
+                "reused": self.pool.reused,
+            },
+        }
 
     # ------------------------------------------------------------------
     # Serving.

@@ -121,15 +121,23 @@ class FastPathWorker:
     """
 
     def __init__(
-        self, worker_id: int, spec: DeploymentSpec, calibration: CalibrationTable | None
+        self,
+        worker_id: int,
+        spec: DeploymentSpec,
+        calibration: CalibrationTable | None,
+        max_resident_bundles: int | None = None,
     ) -> None:
         self.worker_id = worker_id
         self.key = hardware_key(spec)
+        kwargs = {}
+        if max_resident_bundles is not None:
+            kwargs["max_resident_bundles"] = max_resident_bundles
         self.executor = FastPathExecutor(
             get_config(spec.config),
             frequency_hz=spec.frequency_hz,
             calibration=calibration,
             memory_bus_width_bits=spec.memory_bus_width_bits,
+            **kwargs,
         )
         self.stats = WorkerStats()
 
@@ -151,12 +159,18 @@ class WorkerPool:
     """
 
     def __init__(
-        self, workers_per_key: int = 1, calibration: CalibrationTable | None = None
+        self,
+        workers_per_key: int = 1,
+        calibration: CalibrationTable | None = None,
+        max_resident_bundles: int | None = None,
     ) -> None:
         if workers_per_key <= 0:
             raise ReproError("pool needs at least one worker per hardware point")
         self.workers_per_key = workers_per_key
         self.calibration = calibration
+        # None = FastPathExecutor's own default; fleet replicas set this
+        # so their modelled warm-state capacity matches the executor's.
+        self.max_resident_bundles = max_resident_bundles
         self._workers: dict[tuple, list[SocWorker | FastPathWorker]] = {}
         self._cursor: dict[tuple, int] = {}
         self._next_id = 0
@@ -165,7 +179,12 @@ class WorkerPool:
 
     def _make_worker(self, spec: DeploymentSpec) -> SocWorker | FastPathWorker:
         if spec.execution_mode == "fast":
-            return FastPathWorker(self._next_id, spec, self.calibration)
+            return FastPathWorker(
+                self._next_id,
+                spec,
+                self.calibration,
+                max_resident_bundles=self.max_resident_bundles,
+            )
         return SocWorker(self._next_id, spec)
 
     def worker_for(self, spec: DeploymentSpec) -> SocWorker | FastPathWorker:

@@ -1,0 +1,80 @@
+"""Admission control: queue-depth and latency-budget shedding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    AdmissionController,
+    Replica,
+    SloPolicy,
+    TimedRequest,
+)
+from repro.errors import ReproError
+from repro.serve import DeploymentSpec
+
+LENET = DeploymentSpec("lenet5")
+
+
+def _request() -> TimedRequest:
+    return TimedRequest(0, 0.0, LENET)
+
+
+def test_admits_when_fleet_has_room():
+    controller = AdmissionController(SloPolicy(max_queue_depth=2))
+    fleet = [Replica(0), Replica(1)]
+    decision = controller.admit(_request(), fleet, 0.0, run_seconds=0.01)
+    assert decision.admitted and decision.reason is None
+
+
+def test_rejects_when_every_replica_is_saturated():
+    controller = AdmissionController(SloPolicy(max_queue_depth=2))
+    fleet = [Replica(0), Replica(1)]
+    for replica in fleet:
+        replica.assign(0.0, 1.0)
+        replica.assign(0.0, 1.0)
+    decision = controller.admit(_request(), fleet, 0.0, run_seconds=0.01)
+    assert not decision.admitted and decision.reason == "queue_full"
+    # One replica with room is enough to admit again.
+    fleet.append(Replica(2))
+    assert controller.admit(_request(), fleet, 0.0, run_seconds=0.01).admitted
+
+
+def test_queue_depth_drains_with_virtual_time():
+    controller = AdmissionController(SloPolicy(max_queue_depth=1))
+    replica = Replica(0)
+    replica.assign(0.0, 0.5)
+    assert not controller.admit(_request(), [replica], 0.1, run_seconds=0.01).admitted
+    # After the in-flight request completes, admission reopens.
+    assert controller.admit(_request(), [replica], 0.6, run_seconds=0.01).admitted
+
+
+def test_latency_budget_shedding():
+    policy = SloPolicy(max_queue_depth=None, latency_budget_s=0.1)
+    controller = AdmissionController(policy)
+    replica = Replica(0)
+    assert controller.admit(_request(), [replica], 0.0, run_seconds=0.05).admitted
+    # Even the emptiest replica cannot finish a 0.2 s request in budget.
+    decision = controller.admit(_request(), [replica], 0.0, run_seconds=0.2)
+    assert not decision.admitted and decision.reason == "latency_budget"
+    # Backlog counts toward the budget.
+    replica.assign(0.0, 0.08)
+    decision = controller.admit(_request(), [replica], 0.0, run_seconds=0.05)
+    assert not decision.admitted and decision.reason == "latency_budget"
+
+
+def test_empty_fleet_rejects():
+    controller = AdmissionController()
+    decision = controller.admit(_request(), [], 0.0, run_seconds=0.01)
+    assert not decision.admitted and decision.reason == "no_replicas"
+
+
+def test_policy_validation():
+    with pytest.raises(ReproError):
+        SloPolicy(slo_latency_s=0.0)
+    with pytest.raises(ReproError):
+        SloPolicy(max_rejection_rate=1.5)
+    with pytest.raises(ReproError):
+        SloPolicy(max_queue_depth=0)
+    with pytest.raises(ReproError):
+        SloPolicy(latency_budget_s=-1.0)

@@ -1,0 +1,112 @@
+"""Autoscaler decisions: attack, release, cooldowns, clamps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Autoscaler, FleetSample
+from repro.errors import ReproError
+
+
+def _sample(now=10.0, live=2, p99=0.01, util=0.5, backlog=0.0) -> FleetSample:
+    return FleetSample(
+        now=now,
+        live_replicas=live,
+        p99_latency_s=p99,
+        utilization=util,
+        max_backlog_s=backlog,
+    )
+
+
+def _scaler(**kwargs) -> Autoscaler:
+    defaults = dict(
+        min_replicas=1,
+        max_replicas=8,
+        target_p99_s=0.1,
+        target_utilization=0.75,
+        scale_down_utilization=0.30,
+        up_cooldown_s=0.1,
+        down_cooldown_s=1.0,
+    )
+    defaults.update(kwargs)
+    return Autoscaler(**defaults)
+
+
+def test_holds_inside_the_envelope():
+    scaler = _scaler()
+    assert scaler.decide(_sample(p99=0.05, util=0.5)) is None
+
+
+def test_scales_up_on_p99_breach():
+    scaler = _scaler()
+    decision = scaler.decide(_sample(p99=0.5, util=0.5))
+    assert decision is not None and decision.desired == 3
+    assert "p99" in decision.reason
+
+
+def test_scales_up_proportionally_on_utilization():
+    """The HPA rule jumps several replicas on a hard overload."""
+    scaler = _scaler()
+    decision = scaler.decide(_sample(live=2, p99=0.05, util=1.5))
+    # ceil(2 * 1.5 / 0.75) = 4: one decision, two new replicas.
+    assert decision is not None and decision.desired == 4
+    assert "util" in decision.reason
+
+
+def test_up_cooldown_blocks_immediate_rescale():
+    scaler = _scaler(up_cooldown_s=1.0)
+    assert scaler.decide(_sample(now=10.0, p99=0.5)) is not None
+    assert scaler.decide(_sample(now=10.5, p99=0.5)) is None
+    assert scaler.decide(_sample(now=11.1, p99=0.5)) is not None
+
+
+def test_max_replicas_clamp():
+    scaler = _scaler()
+    decision = scaler.decide(_sample(live=8, p99=0.5, util=2.0))
+    assert decision is None  # already at the ceiling
+    decision = scaler.decide(_sample(now=20.0, live=7, util=4.0))
+    assert decision is not None and decision.desired == 8
+
+
+def test_scales_down_one_step_when_idle():
+    scaler = _scaler()
+    decision = scaler.decide(_sample(live=4, p99=0.01, util=0.1))
+    assert decision is not None and decision.desired == 3
+    assert "util" in decision.reason
+
+
+def test_scale_down_respects_min_and_cooldown():
+    scaler = _scaler()
+    assert scaler.decide(_sample(live=1, util=0.0)) is None  # at the floor
+    assert scaler.decide(_sample(now=10.0, live=4, util=0.1)).desired == 3
+    # Release cooldown: the next decrement must wait.
+    assert scaler.decide(_sample(now=10.5, live=3, util=0.1)) is None
+    assert scaler.decide(_sample(now=11.1, live=3, util=0.1)) is not None
+
+
+def test_no_flap_straight_after_attack():
+    scaler = _scaler(down_cooldown_s=2.0)
+    assert scaler.decide(_sample(now=10.0, p99=0.5)) is not None  # scaled up
+    # Utilisation collapses right after — but releasing immediately
+    # would flap, so the release waits out the down-cooldown.
+    assert scaler.decide(_sample(now=11.0, live=3, util=0.05)) is None
+    assert scaler.decide(_sample(now=12.1, live=3, util=0.05)) is not None
+
+
+def test_reset_clears_cooldowns():
+    scaler = _scaler(up_cooldown_s=100.0)
+    assert scaler.decide(_sample(now=10.0, p99=0.5)) is not None
+    assert scaler.decide(_sample(now=20.0, p99=0.5)) is None
+    scaler.reset()
+    assert scaler.decide(_sample(now=20.0, p99=0.5)) is not None
+
+
+def test_validation():
+    with pytest.raises(ReproError):
+        Autoscaler(min_replicas=0)
+    with pytest.raises(ReproError):
+        Autoscaler(min_replicas=4, max_replicas=2)
+    with pytest.raises(ReproError):
+        Autoscaler(scale_down_utilization=0.9, target_utilization=0.7)
+    with pytest.raises(ReproError):
+        Autoscaler(evaluate_every_s=0.0)

@@ -1,0 +1,113 @@
+"""Routing policies over a hand-built fleet (no simulation loop)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    Replica,
+    TimedRequest,
+    affinity_score,
+    make_router,
+)
+from repro.errors import ReproError
+from repro.serve import DeploymentSpec
+
+LENET = DeploymentSpec("lenet5")
+RESNET = DeploymentSpec("resnet18")
+
+
+def _fleet(n: int) -> list[Replica]:
+    return [Replica(i) for i in range(n)]
+
+
+def _request(deployment=LENET, request_id=0) -> TimedRequest:
+    return TimedRequest(request_id, 0.0, deployment)
+
+
+def test_round_robin_cycles_in_dispatch_order():
+    router = make_router("round_robin")
+    fleet = _fleet(3)
+    picks = [router.route(_request(), fleet, 0.0).replica_id for _ in range(6)]
+    assert picks == [0, 1, 2, 0, 1, 2]
+    router.reset()
+    assert router.route(_request(), fleet, 0.0).replica_id == 0
+
+
+def test_least_outstanding_picks_emptiest():
+    router = make_router("least_outstanding")
+    fleet = _fleet(3)
+    fleet[0].assign(0.0, 1.0)
+    fleet[0].assign(0.0, 1.0)
+    fleet[1].assign(0.0, 1.0)
+    assert router.route(_request(), fleet, 0.0).replica_id == 2
+    # Ties break by backlog, then id: after 2 also takes one request,
+    # replica 1 (one outstanding, less backlog than 0) wins.
+    fleet[2].assign(0.0, 1.0)
+    fleet[2].assign(0.0, 1.0)
+    assert router.route(_request(), fleet, 0.0).replica_id == 1
+
+
+def test_least_outstanding_sees_virtual_completions():
+    router = make_router("least_outstanding")
+    fleet = _fleet(2)
+    fleet[0].assign(0.0, 0.5)  # busy until t=0.5
+    assert fleet[0].outstanding(0.1) == 1
+    # After completion the replica is empty again and wins ties by id.
+    assert fleet[0].outstanding(0.6) == 0
+    assert router.route(_request(), fleet, 0.6).replica_id == 0
+
+
+def test_cache_affinity_is_sticky_per_deployment():
+    router = make_router("cache_affinity")
+    fleet = _fleet(4)
+    lenet_picks = {router.route(_request(LENET), fleet, 0.0).replica_id for _ in range(8)}
+    resnet_picks = {router.route(_request(RESNET), fleet, 0.0).replica_id for _ in range(8)}
+    assert len(lenet_picks) == 1
+    assert len(resnet_picks) == 1
+
+
+def test_cache_affinity_rendezvous_remaps_minimally():
+    """Growing the fleet must not reshuffle keys away from survivors."""
+    router = make_router("cache_affinity")
+    deployments = [
+        DeploymentSpec("lenet5", frequency_hz=1e6 * f) for f in range(1, 33)
+    ]
+    small = _fleet(4)
+    large = small + [Replica(4)]
+    moved = 0
+    for deployment in deployments:
+        before = router.route(_request(deployment), small, 0.0).replica_id
+        after = router.route(_request(deployment), large, 0.0).replica_id
+        if after != before:
+            moved += 1
+            assert after == 4  # keys only ever move to the new replica
+    # Expected move fraction is 1/5; allow generous slack either side.
+    assert moved <= len(deployments) // 2
+
+
+def test_cache_affinity_spill_overflows_to_next_preference():
+    router = make_router("cache_affinity", spill_depth=2)
+    fleet = _fleet(3)
+    owner = router.route(_request(LENET), fleet, 0.0)
+    owner.assign(0.0, 1.0)
+    owner.assign(0.0, 1.0)  # owner saturated at spill depth
+    spilled = router.route(_request(LENET), fleet, 0.0)
+    assert spilled.replica_id != owner.replica_id
+    # The spill target is the *second* rendezvous preference, stably.
+    again = router.route(_request(LENET), fleet, 0.0)
+    assert again.replica_id == spilled.replica_id
+
+
+def test_affinity_score_is_deterministic():
+    assert affinity_score("lenet5/nv_small/int8@100MHz", 3) == affinity_score(
+        "lenet5/nv_small/int8@100MHz", 3
+    )
+    assert affinity_score("a", 0) != affinity_score("a", 1)
+
+
+def test_unknown_policy_and_bad_spill():
+    with pytest.raises(ReproError):
+        make_router("random")
+    with pytest.raises(ReproError):
+        make_router("cache_affinity", spill_depth=0)

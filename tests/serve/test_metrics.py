@@ -1,0 +1,155 @@
+"""Service metrics: percentile properties, JSON export, rendering.
+
+The `percentile()` helper implements the nearest-rank definition
+(`rank = ceil(n·q/100)`, clamped to at least 1).  The property tests
+check it against an independent reference implementation over random
+samples, plus the edges the definition pins down: q=0 → minimum,
+q=100 → maximum, single-sample series, duplicated values.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.serve import DeploymentSpec, InferenceService, percentile
+from repro.serve.metrics import LatencySummary, ServiceMetrics
+
+
+def reference_percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile, written independently of the helper."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(len(ordered) * q / 100.0))
+    return ordered[rank - 1]
+
+
+# ----------------------------------------------------------------------
+# Property tests.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("size", [1, 2, 3, 7, 50, 101, 500])
+def test_matches_reference_on_random_samples(seed, size):
+    rng = np.random.default_rng(seed)
+    samples = rng.uniform(-1e3, 1e3, size=size).tolist()
+    for q in [0, 1, 25, 50, 75, 90, 95, 99, 99.9, 100]:
+        assert percentile(samples, q) == reference_percentile(samples, q)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_result_is_always_a_sample(seed):
+    rng = np.random.default_rng(seed)
+    samples = rng.normal(size=37).tolist()
+    for q in rng.uniform(0, 100, size=25):
+        assert percentile(samples, float(q)) in samples
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_monotone_in_q(seed):
+    rng = np.random.default_rng(seed)
+    samples = rng.exponential(size=64).tolist()
+    values = [percentile(samples, q) for q in np.linspace(0, 100, 41)]
+    assert values == sorted(values)
+
+
+def test_edges():
+    assert percentile([], 50) == 0.0
+    assert percentile([3.5], 0) == 3.5
+    assert percentile([3.5], 100) == 3.5
+    samples = [5.0, 1.0, 3.0]
+    assert percentile(samples, 0) == 1.0  # q=0 clamps to the minimum
+    assert percentile(samples, 100) == 5.0
+    # Duplicates are fine: nearest rank just indexes the sorted list.
+    assert percentile([2.0, 2.0, 2.0], 99) == 2.0
+    # The helper must not mutate its input.
+    unsorted = [9.0, 1.0, 4.0]
+    percentile(unsorted, 50)
+    assert unsorted == [9.0, 1.0, 4.0]
+
+
+def test_out_of_range_q_raises():
+    with pytest.raises(ValueError):
+        percentile([1.0], -1)
+    with pytest.raises(ValueError):
+        percentile([1.0], 100.1)
+
+
+def test_integer_rank_boundaries():
+    """Exactly on-rank quantiles of 1..100: p50 = 50, p99 = 99."""
+    samples = [float(v) for v in range(1, 101)]
+    assert percentile(samples, 50) == 50.0
+    assert percentile(samples, 99) == 99.0
+    assert percentile(samples, 1) == 1.0
+
+
+# ----------------------------------------------------------------------
+# JSON export (the satellite the cluster aggregator builds on).
+# ----------------------------------------------------------------------
+
+
+def test_latency_summary_to_dict():
+    summary = LatencySummary.of([0.2, 0.1, 0.4])
+    payload = summary.to_dict()
+    assert payload == {
+        "count": 3,
+        "mean": pytest.approx(0.7 / 3),
+        "p50": 0.2,
+        "p99": 0.4,
+        "max": 0.4,
+    }
+    assert LatencySummary.of([]).to_dict()["count"] == 0
+
+
+def test_service_metrics_to_dict_round_trip():
+    import json
+
+    metrics = ServiceMetrics()
+    metrics.record(0.010, cycles=1000, ok=True, deployment="lenet5/nv_small")
+    metrics.record(0.030, cycles=3000, ok=False, deployment="lenet5/nv_small")
+    metrics.bundle_hits = 1
+    metrics.bundle_misses = 1
+    payload = metrics.to_dict()
+    json.dumps(payload)  # JSON-clean end to end
+    assert payload["requests"] == 2
+    assert payload["failures"] == 1
+    assert payload["cache_hit_rate"] == pytest.approx(0.5)
+    assert payload["wall"]["p99"] == pytest.approx(0.030)
+    slice_ = payload["per_deployment"]["lenet5/nv_small"]
+    assert slice_["requests"] == 2
+    assert slice_["wall"]["max"] == pytest.approx(0.030)
+    assert slice_["cycles"]["p50"] == pytest.approx(1000.0)
+
+
+def test_render_per_deployment_includes_wall_p99():
+    metrics = ServiceMetrics()
+    for value in (0.01, 0.02, 0.90):
+        metrics.record(value, cycles=500, ok=True, deployment="lenet5/nv_small")
+    lines = metrics.render().splitlines()
+    slice_lines = [line for line in lines if line.startswith("  lenet5")]
+    assert len(slice_lines) == 1
+    # Fleet-style formatting: wall p50/p99/max and cycles p50/p99.
+    assert "p99 900.0 ms" in slice_lines[0]
+    assert "max 900.0 ms" in slice_lines[0]
+    assert "cycles p50 500" in slice_lines[0]
+
+
+def test_service_outstanding_and_snapshot():
+    service = InferenceService()
+    assert service.outstanding == 0
+    service.request(DeploymentSpec("lenet5", fidelity="timing"))
+    service.request(DeploymentSpec("lenet5", fidelity="timing"))
+    assert service.outstanding == 2
+    snapshot = service.snapshot()
+    assert snapshot["outstanding"] == 2
+    assert snapshot["metrics"]["requests"] == 0
+    service.run_pending()
+    snapshot = service.snapshot()
+    assert service.outstanding == 0
+    assert snapshot["metrics"]["requests"] == 2
+    assert snapshot["cache"]["misses"] == 1
+    assert snapshot["workers"]["created"] == 1
