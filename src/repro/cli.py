@@ -14,6 +14,8 @@ Exposes the flows a downstream user runs most::
     python -m repro calibrate --models lenet5,resnet18 --out cal.json
     python -m repro synth --config nv_full
     python -m repro sanity --trace conv
+    python -m repro warmup --models lenet5,resnet18 --store .repro-store
+    python -m repro store ls | verify | gc
 """
 
 from __future__ import annotations
@@ -244,14 +246,18 @@ def _serve_calibration(args: argparse.Namespace):
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serve import InferenceService, shared_cache
+    from repro.serve import BundleCache, InferenceService, shared_cache
 
     # The shared cache keeps fast-mode calibration (which already built
     # every deployment's bundle) and the service on one set of builds.
     # One --seed drives both the workload inputs and anything the
     # service synthesises itself, so a serve run replays exactly.
+    # With --store, misses try the persistent store before compiling
+    # (and the shared in-process cache is bypassed so the store path is
+    # actually exercised).
+    store = _open_store(args)
     service = InferenceService(
-        cache=shared_cache(),
+        cache=BundleCache(store=store) if store is not None else shared_cache(),
         max_batch_size=args.batch_size,
         workers_per_key=args.workers,
         input_seed=args.seed,
@@ -287,15 +293,18 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     from repro.baremetal import generate_baremetal
     from repro.core import Soc
     from repro.nn.zoo import ZOO
-    from repro.serve import InferenceService, shared_cache
+    from repro.serve import BundleCache, InferenceService, shared_cache
 
     workload = _build_workload(args)
     config = get_config(args.config)
     n = len(workload)
+    store = _open_store(args)
 
     if args.mode == "fast":
         calibration = _serve_calibration(args)
-        cache = shared_cache()  # calibration already built these bundles
+        # Calibration already built these bundles into the shared
+        # cache; --store swaps in a store-backed cache instead.
+        cache = BundleCache(store=store) if store is not None else shared_cache()
         baseline = InferenceService(
             cache=cache,
             max_batch_size=args.batch_size,
@@ -351,6 +360,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     cold = time.perf_counter() - began
 
     service = InferenceService(
+        cache=BundleCache(store=store) if store is not None else None,
         max_batch_size=args.batch_size,
         workers_per_key=args.workers,
         input_seed=args.seed,
@@ -433,7 +443,10 @@ def _cmd_bench_cluster(args: argparse.Namespace) -> int:
         f"{offered_rps(workload):.1f} rps offered) on {args.replicas} replica(s), "
         f"seed {args.seed}..."
     )
-    cache = shared_cache()
+    store = _open_store(args)
+    from repro.serve import BundleCache
+
+    cache = BundleCache(store=store) if store is not None else shared_cache()
     summaries = {}
     for policy in policies:
         simulation = ClusterSimulation(
@@ -443,6 +456,7 @@ def _cmd_bench_cluster(args: argparse.Namespace) -> int:
             autoscaler=autoscaler,
             cache=cache,
             resident_capacity=args.resident_capacity,
+            store=store,
         )
         metrics = simulation.run(workload).metrics
         metrics.arrival_name = arrival_name
@@ -463,6 +477,99 @@ def _cmd_bench_cluster(args: argparse.Namespace) -> int:
         payload = {policy: metrics.to_dict() for policy, metrics in summaries.items()}
         Path(args.out).write_text(json.dumps(payload, indent=2, sort_keys=True))
         print(f"\nmetrics written to {args.out}")
+    return 0
+
+
+def _store_path(args: argparse.Namespace) -> str:
+    """--store, else $REPRO_STORE_DIR, else ./.repro-store."""
+    import os
+
+    from repro.store import DEFAULT_STORE_DIR, STORE_ENV_VAR
+
+    return args.store or os.environ.get(STORE_ENV_VAR) or DEFAULT_STORE_DIR
+
+
+def _open_store(args: argparse.Namespace):
+    """The store named by --store, or None when the flag is absent."""
+    from repro.store import BundleStore
+
+    if getattr(args, "store", None) is None:
+        return None
+    return BundleStore(args.store)
+
+
+def _cmd_warmup(args: argparse.Namespace) -> int:
+    """Pre-compile deployments into the store so later runs only fetch."""
+    import json
+    import time
+
+    from repro.serve import BundleCache
+    from repro.store import BundleStore
+
+    store = BundleStore(_store_path(args))
+    cache = BundleCache(store=store)
+    models = _parse_models(args.models)
+    precision = Precision(args.precision)
+    print(f"warming {_store_path(args)} with {len(models)} deployment(s)...")
+    for model in models:
+        compiles_before = cache.stats.compiles
+        began = time.perf_counter()
+        cache.bundle_for(
+            model, args.config, precision=precision, fidelity=args.fidelity,
+            seed=args.seed,
+        )
+        verb = "compiled" if cache.stats.compiles > compiles_before else "fetched"
+        print(
+            f"  {model:<10} {args.config}/{precision.value}/{args.fidelity}: "
+            f"{verb} in {time.perf_counter() - began:.2f} s"
+        )
+    payload = {
+        "store": _store_path(args),
+        "entries": len(store),
+        "total_bytes": store.total_bytes(),
+        "cache": cache.stats.to_dict(),
+        "stats": store.stats.to_dict(),
+    }
+    print(
+        f"store: {payload['entries']} artifact(s), "
+        f"{payload['total_bytes'] / 1024 / 1024:.1f} MiB "
+        f"({cache.stats.compiles} compiled, {cache.stats.store_hits} already present)"
+    )
+    if args.out:
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"warmup stats written to {args.out}")
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    """Inventory / integrity / eviction over the persistent store."""
+    from repro.store import BundleStore
+
+    store = BundleStore(_store_path(args))
+    if args.action == "ls":
+        entries = store.ls()
+        for entry in entries:
+            print(entry.render())
+        print(
+            f"{len(entries)} artifact(s), "
+            f"{store.total_bytes() / 1024 / 1024:.1f} MiB in {_store_path(args)}"
+        )
+        return 0
+    if args.action == "verify":
+        report = store.verify()
+        print(report.render())
+        return 0 if report.clean else 1
+    assert args.action == "gc"
+    max_bytes = int(args.max_mib * 1024 * 1024) if args.max_mib is not None else None
+    evicted = store.gc(max_bytes=max_bytes, max_objects=args.max_objects)
+    for entry in evicted:
+        print(f"evicted {entry.render()}")
+    print(
+        f"{len(evicted)} evicted; {len(store)} artifact(s), "
+        f"{store.total_bytes() / 1024 / 1024:.1f} MiB remain"
+    )
     return 0
 
 
@@ -561,6 +668,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="execution tier for the workload's deployments")
         serve.add_argument("--calibration", default=None,
                            help="calibration table JSON to load/save for --mode fast")
+        serve.add_argument("--store", default=None,
+                           help="persistent bundle store directory: misses fetch "
+                                "verified artifacts from disk before compiling")
 
     cluster = sub.add_parser(
         "bench-cluster",
@@ -599,6 +709,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "mix (unused with --trace: the trace is the workload)")
     cluster.add_argument("--trace", default=None,
                          help="replay a JSONL trace instead of generating arrivals")
+    cluster.add_argument("--store", default=None,
+                         help="persistent bundle store: replicas acquire artifacts "
+                              "by fetching from it instead of recompiling")
     cluster.add_argument("--out", default=None,
                          help="write per-policy metrics JSON to this path")
 
@@ -615,6 +728,33 @@ def build_parser() -> argparse.ArgumentParser:
     cal.add_argument("--max-error", type=float, default=0.10,
                      help="fail when any validated pair exceeds this relative error")
     cal.add_argument("--out", default=None, help="write the table to this JSON path")
+
+    warm = sub.add_parser(
+        "warmup",
+        help="pre-compile deployments into the persistent bundle store",
+    )
+    warm.add_argument("--models", default="lenet5,resnet18",
+                      help="comma-separated zoo models to warm")
+    warm.add_argument("--config", default="nv_small", choices=sorted(CONFIGS))
+    warm.add_argument("--precision", default="int8", choices=[p.value for p in Precision])
+    warm.add_argument("--fidelity", default="functional", choices=["functional", "timing"])
+    warm.add_argument("--seed", type=int, default=2024,
+                      help="flow seed (part of the deployment key)")
+    warm.add_argument("--store", default=None,
+                      help="store directory (default: $REPRO_STORE_DIR or .repro-store)")
+    warm.add_argument("--out", default=None,
+                      help="write warmup/store stats JSON to this path")
+
+    store = sub.add_parser("store", help="inspect the persistent bundle store")
+    store.add_argument("action", choices=["ls", "verify", "gc"],
+                       help="ls: inventory; verify: deep integrity check; "
+                            "gc: evict LRU artifacts past the caps")
+    store.add_argument("--store", default=None,
+                       help="store directory (default: $REPRO_STORE_DIR or .repro-store)")
+    store.add_argument("--max-mib", type=float, default=None,
+                       help="gc: evict LRU artifacts beyond this total size")
+    store.add_argument("--max-objects", type=int, default=None,
+                       help="gc: evict LRU artifacts beyond this count")
 
     sanity = sub.add_parser("sanity", help="run the NVDLA sanity test traces")
     sanity.add_argument("--trace", default=None)
@@ -644,6 +784,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_bench_serve(args)
     if args.command == "bench-cluster":
         return _cmd_bench_cluster(args)
+    if args.command == "warmup":
+        return _cmd_warmup(args)
+    if args.command == "store":
+        return _cmd_store(args)
     if args.command == "calibrate":
         return _cmd_calibrate(args)
     if args.command == "sanity":

@@ -54,6 +54,10 @@ class ScaleEvent:
     reason: str
     p99_latency_s: float
     utilization: float
+    # Deployments already published to the persistent store at scale-up
+    # time: what the new replicas fetch instead of recompiling.  Zero
+    # on scale-downs and on fleets without a store.
+    warmed_bundles: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -63,14 +67,18 @@ class ScaleEvent:
             "reason": self.reason,
             "p99_latency_s": self.p99_latency_s,
             "utilization": self.utilization,
+            "warmed_bundles": self.warmed_bundles,
         }
 
     def render(self) -> str:
         arrow = "↑" if self.to_replicas > self.from_replicas else "↓"
+        warmed = (
+            f", {self.warmed_bundles} warmable" if self.warmed_bundles else ""
+        )
         return (
             f"t={self.at_s:7.2f}s  {self.from_replicas}→{self.to_replicas} {arrow}  "
             f"{self.reason}  (p99 {self.p99_latency_s * 1e3:.1f} ms, "
-            f"util {self.utilization * 100:.0f}%)"
+            f"util {self.utilization * 100:.0f}%{warmed})"
         )
 
 

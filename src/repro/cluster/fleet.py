@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.cluster.admission import AdmissionController, SloPolicy
 from repro.cluster.autoscaler import Autoscaler, FleetSample, ScaleEvent
@@ -42,6 +43,7 @@ from repro.cluster.metrics import (
 )
 from repro.cluster.router import Router
 from repro.cluster.workload import TimedRequest
+from repro.baremetal.pipeline import bundle_cache_key
 from repro.core.calibration import CalibrationTable
 from repro.core.fastpath import FastPathExecutor
 from repro.errors import ReproError
@@ -52,13 +54,25 @@ from repro.serve.request import DeploymentSpec
 from repro.serve.service import InferenceService
 from repro.serve.workers import hardware_key
 
+if TYPE_CHECKING:
+    from repro.store import BundleStore
+
 
 @dataclass(frozen=True)
 class RequestCost:
-    """Deterministic virtual-time price of one request on a replica."""
+    """Deterministic virtual-time price of one request on a replica.
+
+    ``build_seconds``/``fetch_seconds`` price *acquiring* the deployment's
+    artefacts the first time a replica ever touches them: compiling from
+    scratch versus fetching a verified bundle from the persistent
+    :class:`~repro.store.BundleStore`.  Both are zero when the fleet has
+    no store attached, which keeps legacy runs bit-identical.
+    """
 
     run_seconds: float  # warm service time (bundle resident)
     warmup_seconds: float  # extra charge when the bundle is cold
+    build_seconds: float = 0.0  # first-touch charge: full offline compile
+    fetch_seconds: float = 0.0  # first-touch charge: store fetch instead
 
     @property
     def cold_seconds(self) -> float:
@@ -82,6 +96,12 @@ class ServiceTimeModel:
       priced as bytes over a provisioning link plus a fixed setup
       charge.  This is what cache-affinity routing saves and what a
       freshly scaled-up replica pays.
+    - *acquisition* (only with a ``store`` attached) — the first time a
+      replica ever touches a deployment it must *acquire* the compiled
+      artefacts: a full offline build when no one has published them
+      yet, or a (much cheaper) verified fetch from the persistent
+      store.  Both are priced from the serialized container size, so
+      the numbers stay bit-reproducible from the seed.
     """
 
     def __init__(
@@ -90,13 +110,26 @@ class ServiceTimeModel:
         calibration: CalibrationTable | None = None,
         warmup_bandwidth_bytes_per_s: float = 32 * 1024 * 1024,
         warmup_fixed_s: float = 0.010,
+        store: "BundleStore | None" = None,
+        build_fixed_s: float = 0.250,
+        build_bytes_per_s: float = 4 * 1024 * 1024,
+        fetch_fixed_s: float = 0.002,
+        fetch_bytes_per_s: float = 128 * 1024 * 1024,
     ) -> None:
         if warmup_bandwidth_bytes_per_s <= 0:
             raise ReproError("warm-up bandwidth must be positive")
-        self.cache = cache or BundleCache()
+        if build_bytes_per_s <= 0 or fetch_bytes_per_s <= 0:
+            raise ReproError("acquisition bandwidths must be positive")
+        # NOT `cache or ...`: an empty BundleCache is falsy (__len__).
+        self.cache = cache if cache is not None else BundleCache(store=store)
         self.calibration = calibration
         self.warmup_bandwidth_bytes_per_s = warmup_bandwidth_bytes_per_s
         self.warmup_fixed_s = warmup_fixed_s
+        self.store = store
+        self.build_fixed_s = build_fixed_s
+        self.build_bytes_per_s = build_bytes_per_s
+        self.fetch_fixed_s = fetch_fixed_s
+        self.fetch_bytes_per_s = fetch_bytes_per_s
         self._estimators: dict[tuple, FastPathExecutor] = {}
         self._costs: dict[tuple, RequestCost] = {}
 
@@ -121,10 +154,23 @@ class ServiceTimeModel:
             )
             estimate = self._estimator(spec).estimate(bundle)
             preload_bytes = sum(len(image.data) for image in bundle.images.preload)
+            build_seconds = fetch_seconds = 0.0
+            if self.store is not None:
+                from repro.store import serialize_bundle
+
+                artifact_bytes = len(serialize_bundle(bundle))
+                build_seconds = (
+                    self.build_fixed_s + artifact_bytes / self.build_bytes_per_s
+                )
+                fetch_seconds = (
+                    self.fetch_fixed_s + artifact_bytes / self.fetch_bytes_per_s
+                )
             cost = self._costs[key] = RequestCost(
                 run_seconds=estimate.total_cycles / spec.frequency_hz,
                 warmup_seconds=self.warmup_fixed_s
                 + preload_bytes / self.warmup_bandwidth_bytes_per_s,
+                build_seconds=build_seconds,
+                fetch_seconds=fetch_seconds,
             )
         return cost
 
@@ -161,6 +207,10 @@ class Replica:
         self.busy_seconds = 0.0
         self.resident_hits = 0
         self.resident_misses = 0
+        # Deployments whose artefacts this replica has ever acquired
+        # (compiled or fetched from the store); unlike the resident
+        # LRU, acquisition is paid at most once per deployment.
+        self.acquired: set[tuple] = set()
         self._resident: dict[tuple, OrderedDict] = {}  # lane → bundle LRU
         self._completions: deque[float] = deque()
         self._service_factory = service_factory
@@ -258,6 +308,7 @@ class ClusterSimulation:
         resident_capacity: int = 8,
         execute: bool = False,
         input_seed: int = 7,
+        store: "BundleStore | None" = None,
     ) -> None:
         if replicas <= 0:
             raise ReproError("fleet needs at least one replica")
@@ -266,15 +317,18 @@ class ClusterSimulation:
         self.slo = slo or (admission.policy if admission else SloPolicy())
         self.admission = admission
         self.autoscaler = autoscaler
-        self.cache = cache or BundleCache()
+        # NOT `cache or ...`: an empty BundleCache is falsy (__len__).
+        self.cache = cache if cache is not None else BundleCache(store=store)
         self.calibration = calibration
         self.pricing = pricing or ServiceTimeModel(
-            cache=self.cache, calibration=calibration
+            cache=self.cache, calibration=calibration, store=store
         )
+        self.store = store if store is not None else self.pricing.store
         self.resident_capacity = resident_capacity
         self.execute = execute
         self.input_seed = input_seed
         self._next_replica_id = 0
+        self._published: set[tuple] = set()
 
     # ------------------------------------------------------------------
     # Fleet plumbing.
@@ -304,6 +358,49 @@ class ClusterSimulation:
     @staticmethod
     def _live(fleet: list[Replica]) -> list[Replica]:
         return [replica for replica in fleet if replica.live]
+
+    # ------------------------------------------------------------------
+    # Artefact acquisition (store-aware pricing).
+    # ------------------------------------------------------------------
+
+    def _prime_published(self, workload: list[TimedRequest]) -> None:
+        """Seed the published set from the attached persistent store.
+
+        A deployment already verified on disk means every replica —
+        including the very first — warms by *fetching* instead of
+        compiling; this is the pre-warmed-store scenario the `repro
+        warmup` CLI sets up.
+        """
+        self._published = set()
+        if self.store is None:
+            return
+        for spec in {request.deployment for request in workload}:
+            key = bundle_cache_key(
+                spec.model, spec.config, spec.precision, spec.fidelity
+            )
+            if self.store.contains(key):
+                self._published.add(residency_key(spec))
+
+    def _acquisition_seconds(
+        self, replica: Replica, spec: DeploymentSpec, cost: RequestCost
+    ) -> float:
+        """First-ever touch of a deployment on this replica.
+
+        Unpublished artefacts pay the full offline build (and are
+        published for everyone after); published ones pay the much
+        cheaper store fetch.  Zero without a store — legacy pricing is
+        bit-identical.
+        """
+        if self.store is None:
+            return 0.0
+        key = residency_key(spec)
+        if key in replica.acquired:
+            return 0.0
+        replica.acquired.add(key)
+        if key in self._published:
+            return cost.fetch_seconds
+        self._published.add(key)
+        return cost.build_seconds
 
     # ------------------------------------------------------------------
     # Autoscaling.
@@ -358,6 +455,10 @@ class ClusterSimulation:
                 reason=decision.reason,
                 p99_latency_s=sample.p99_latency_s,
                 utilization=sample.utilization,
+                # What a scaled-up replica can fetch instead of build.
+                warmed_bundles=(
+                    len(self._published) if decision.desired > len(live) else 0
+                ),
             )
         )
 
@@ -370,6 +471,7 @@ class ClusterSimulation:
             raise ReproError("cannot simulate an empty workload")
         ordered = sorted(workload, key=lambda r: (r.arrival_s, r.request_id))
         self.router.reset()
+        self._prime_published(ordered)
         if self.autoscaler:
             self.autoscaler.reset()
         self._next_replica_id = 0
@@ -417,10 +519,15 @@ class ClusterSimulation:
                 metrics.reject(now, "no_replicas")
                 continue
             replica = self.router.route(request, live, now)
+            acquisition = self._acquisition_seconds(replica, request.deployment, cost)
             warm = replica.touch_resident(
                 hardware_key(request.deployment), residency_key(request.deployment)
             )
-            service_seconds = cost.run_seconds + (0.0 if warm else cost.warmup_seconds)
+            service_seconds = (
+                cost.run_seconds
+                + (0.0 if warm else cost.warmup_seconds)
+                + acquisition
+            )
             _, completion = replica.assign(now, service_seconds)
             latency = completion - now
             window.append((now, latency, service_seconds))

@@ -94,6 +94,28 @@ class TraceError(ReproError):
     """A virtual-platform trace log could not be parsed or replayed."""
 
 
+class StoreError(ReproError):
+    """The persistent bundle store could not complete an operation."""
+
+
+class StoreIntegrityError(StoreError):
+    """A stored artifact failed integrity verification.
+
+    Raised whenever on-disk bytes cannot be trusted: bad magic or
+    version, a section digest mismatch, truncation, a dangling
+    reference, or a reconstructed bundle whose artifact digest
+    disagrees with the one recorded at write time.  The store NEVER
+    returns a bundle from a path that raised this — callers fall back
+    to recompilation.
+    """
+
+    def __init__(self, message: str, path: str | None = None) -> None:
+        if path is not None:
+            message = f"{path}: {message}"
+        super().__init__(message)
+        self.path = path
+
+
 class CodegenError(ReproError):
     """Bare-metal code generation failed."""
 

@@ -10,6 +10,14 @@ built exactly once no matter how many requests hit it.
 Entries are kept LRU; the default capacity comfortably holds every
 (zoo model × config × precision) point, but a bound exists so a
 design-space sweep cannot grow host memory without limit.
+
+With a persistent :class:`~repro.store.BundleStore` attached, a
+memory miss tries the disk before compiling — memory → store →
+compile — and every fresh compile is published back, so a *new
+process* (or a freshly provisioned replica) warms up by fetching
+verified artefacts instead of re-running the offline flow.  A store
+that fails integrity verification is treated as a miss: the bundle is
+recompiled and the bad artefact overwritten.
 """
 
 from __future__ import annotations
@@ -17,36 +25,57 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.baremetal.codegen import CodegenOptions
 from repro.baremetal.pipeline import BaremetalBundle, bundle_cache_key, generate_baremetal
 from repro.compiler import CompileOptions
-from repro.errors import ReproError
+from repro.errors import ReproError, StoreError
 from repro.nn.zoo import ZOO
 from repro.nvdla.config import HardwareConfig, Precision, get_config
+
+if TYPE_CHECKING:
+    from repro.store import BundleStore
 
 
 @dataclass
 class BundleCacheStats:
-    hits: int = 0
-    misses: int = 0
+    hits: int = 0  # served from memory
+    misses: int = 0  # everything else: store_hits + compiles
+    store_hits: int = 0  # served from the persistent store
+    store_errors: int = 0  # integrity/IO failures (fell back to compile)
+    compiles: int = 0  # paid the full offline flow
     evictions: int = 0
-    build_seconds: float = 0.0  # total time spent building on misses
+    build_seconds: float = 0.0  # total time spent compiling on misses
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "store_hits": self.store_hits,
+            "store_errors": self.store_errors,
+            "compiles": self.compiles,
+            "evictions": self.evictions,
+            "build_seconds": self.build_seconds,
+            "hit_rate": self.hit_rate,
+        }
+
 
 class BundleCache:
     """LRU cache of built bundles, keyed by deployment."""
 
-    def __init__(self, max_entries: int = 32) -> None:
+    def __init__(
+        self, max_entries: int = 32, store: "BundleStore | None" = None
+    ) -> None:
         if max_entries <= 0:
             raise ReproError("cache needs at least one entry")
         self.max_entries = max_entries
+        self.store = store
         self._entries: "OrderedDict[tuple, BaremetalBundle]" = OrderedDict()
         self.stats = BundleCacheStats()
 
@@ -73,14 +102,40 @@ class BundleCache:
             self.stats.hits += 1
             return bundle
         self.stats.misses += 1
-        began = time.perf_counter()
-        bundle = build()
-        self.stats.build_seconds += time.perf_counter() - began
+        bundle = self._fetch_from_store(key)
+        if bundle is None:
+            self.stats.compiles += 1
+            began = time.perf_counter()
+            bundle = build()
+            self.stats.build_seconds += time.perf_counter() - began
+            self._publish_to_store(key, bundle)
         self._entries[key] = bundle
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
         return bundle
+
+    def _fetch_from_store(self, key: tuple) -> BaremetalBundle | None:
+        """A verified store load, or None — integrity failures recompile."""
+        if self.store is None:
+            return None
+        try:
+            bundle = self.store.get_bundle(key)
+        except (StoreError, OSError):
+            self.stats.store_errors += 1
+            return None
+        if bundle is not None:
+            self.stats.store_hits += 1
+        return bundle
+
+    def _publish_to_store(self, key: tuple, bundle: BaremetalBundle) -> None:
+        """Best effort: a full disk must not fail the request."""
+        if self.store is None:
+            return
+        try:
+            self.store.put_bundle(key, bundle)
+        except (StoreError, OSError):
+            self.stats.store_errors += 1
 
     def bundle_for(
         self,

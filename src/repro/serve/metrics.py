@@ -93,8 +93,10 @@ class ServiceMetrics:
     requests: int = 0
     failures: int = 0
     batches: int = 0
-    bundle_hits: int = 0
-    bundle_misses: int = 0
+    bundle_hits: int = 0  # served from the in-memory cache
+    bundle_misses: int = 0  # = bundle_store_hits + bundle_compiles
+    bundle_store_hits: int = 0  # misses satisfied by the persistent store
+    bundle_compiles: int = 0  # misses that paid the full offline flow
     workers_created: int = 0
     workers_reused: int = 0
     wall_seconds_total: float = 0.0  # busy time inside workers
@@ -150,6 +152,8 @@ class ServiceMetrics:
             "batches": self.batches,
             "bundle_hits": self.bundle_hits,
             "bundle_misses": self.bundle_misses,
+            "bundle_store_hits": self.bundle_store_hits,
+            "bundle_compiles": self.bundle_compiles,
             "cache_hit_rate": self.cache_hit_rate,
             "workers_created": self.workers_created,
             "workers_reused": self.workers_reused,
@@ -173,7 +177,9 @@ class ServiceMetrics:
             f"throughput: {self.throughput_rps:.2f} req/s "
             f"(elapsed {self.elapsed_seconds:.2f} s)",
             f"bundle cache: {self.bundle_hits} hits / {self.bundle_misses} misses "
-            f"({self.cache_hit_rate * 100:.0f}% hit rate)",
+            f"({self.cache_hit_rate * 100:.0f}% hit rate; "
+            f"{self.bundle_store_hits} from store, "
+            f"{self.bundle_compiles} compiled)",
             f"workers: {self.workers_created} created, {self.workers_reused} reuses",
             f"wall latency: p50 {wall.p50 * 1e3:.1f} ms  p99 {wall.p99 * 1e3:.1f} ms  "
             f"max {wall.max * 1e3:.1f} ms",

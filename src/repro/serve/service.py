@@ -44,7 +44,9 @@ class InferenceService:
         calibration: CalibrationTable | None = None,
         max_resident_bundles: int | None = None,
     ) -> None:
-        self.cache = cache or BundleCache()
+        # NOT `cache or BundleCache()`: an empty cache is falsy (__len__)
+        # and would be silently swapped for one without its store.
+        self.cache = cache if cache is not None else BundleCache()
         self.scheduler = RequestScheduler(max_batch_size=max_batch_size)
         self.pool = WorkerPool(
             workers_per_key=workers_per_key,
@@ -85,21 +87,18 @@ class InferenceService:
 
     def snapshot(self) -> dict:
         """JSON-ready state: queue depth, metrics, cache and pool."""
-        return {
+        snapshot = {
             "outstanding": self.outstanding,
             "metrics": self.metrics.to_dict(),
-            "cache": {
-                "entries": len(self.cache),
-                "hits": self.cache.stats.hits,
-                "misses": self.cache.stats.misses,
-                "evictions": self.cache.stats.evictions,
-                "build_seconds": self.cache.stats.build_seconds,
-            },
+            "cache": {"entries": len(self.cache), **self.cache.stats.to_dict()},
             "workers": {
                 "created": self.pool.created,
                 "reused": self.pool.reused,
             },
         }
+        if self.cache.store is not None:
+            snapshot["store"] = self.cache.store.stats.to_dict()
+        return snapshot
 
     # ------------------------------------------------------------------
     # Serving.
@@ -108,6 +107,7 @@ class InferenceService:
     def bundle_for(self, deployment: DeploymentSpec) -> tuple[BaremetalBundle, bool]:
         """The deployment's memoised artefacts; True when cache-hit."""
         misses_before = self.cache.stats.misses
+        store_hits_before = self.cache.stats.store_hits
         bundle = self.cache.bundle_for(
             deployment.model,
             deployment.config,
@@ -119,6 +119,10 @@ class InferenceService:
             self.metrics.bundle_hits += 1
         else:
             self.metrics.bundle_misses += 1
+            if self.cache.stats.store_hits > store_hits_before:
+                self.metrics.bundle_store_hits += 1
+            else:
+                self.metrics.bundle_compiles += 1
         return bundle, hit
 
     def _serve_batch(self, batch: Batch) -> list[InferenceResponse]:

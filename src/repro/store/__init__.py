@@ -1,0 +1,66 @@
+"""Persistent content-addressed store for compiled artifacts.
+
+``repro.store`` persists the expensive products of the bare-metal
+pipeline — compiled loadables and full deployment bundles — under
+content-addressed digest keys so that a process (or a freshly
+provisioned replica) can warm up by *fetching* instead of
+*recompiling*.  See :mod:`repro.store.format` for the container
+format, :mod:`repro.store.serialize` for the bundle mapping and
+:mod:`repro.store.store` for the on-disk layout, atomic writes,
+integrity verification and LRU eviction.
+"""
+
+from repro.errors import StoreError, StoreIntegrityError
+from repro.store.format import (
+    FORMAT_VERSION,
+    MAGIC,
+    Section,
+    canonical_json,
+    read_container,
+    sha256_hex,
+    write_container,
+)
+from repro.store.serialize import (
+    BUNDLE_KIND,
+    LOADABLE_KIND,
+    SERIAL_VERSION,
+    deserialize_bundle,
+    deserialize_loadable,
+    serialize_bundle,
+    serialize_loadable,
+)
+from repro.store.store import (
+    DEFAULT_STORE_DIR,
+    STORE_ENV_VAR,
+    BundleStore,
+    StoreEntry,
+    StoreStats,
+    VerifyReport,
+    key_digest,
+)
+
+__all__ = [
+    "BUNDLE_KIND",
+    "BundleStore",
+    "DEFAULT_STORE_DIR",
+    "FORMAT_VERSION",
+    "LOADABLE_KIND",
+    "MAGIC",
+    "SERIAL_VERSION",
+    "STORE_ENV_VAR",
+    "Section",
+    "StoreEntry",
+    "StoreError",
+    "StoreIntegrityError",
+    "StoreStats",
+    "VerifyReport",
+    "canonical_json",
+    "deserialize_bundle",
+    "deserialize_loadable",
+    "key_digest",
+    "read_container",
+    "serialize_bundle",
+    "serialize_loadable",
+    "sha256_hex",
+    "write_container",
+]

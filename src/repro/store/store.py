@@ -1,0 +1,457 @@
+"""The content-addressed on-disk artifact store.
+
+Layout (everything under one root directory)::
+
+    store.json                      # layout version marker
+    objects/<dd>/<digest>           # immutable containers; digest =
+                                    #   SHA-256 of the file bytes
+    refs/<key-digest>.json          # deployment key → object digest,
+                                    #   byte size, created / last_used
+
+Objects are *content addressed*: the file name is the SHA-256 of the
+file's own bytes, so verification needs no side channel and two
+writers racing on one deployment key converge on the same object.
+Every publish is a write-to-temp-file-then-``os.replace`` in the
+target directory — readers either see the complete old file, the
+complete new file, or nothing; a crashed writer leaves only a
+``.tmp-*`` turd that the next :meth:`gc` sweeps.
+
+Loads verify three layers before returning a bundle: the file digest
+against the ref, every section's SHA-256 inside the container, and
+the reconstructed bundle's :meth:`artifact_digest` against the one
+recorded at write time.  Any mismatch raises
+:class:`~repro.errors.StoreIntegrityError`; :class:`BundleStore`
+never returns bytes it could not verify.
+
+Eviction is LRU over refs (``last_used`` is touched on every hit) with
+optional caps on total bytes and object count, applied on every put
+and on demand via :meth:`gc`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.baremetal.pipeline import BaremetalBundle
+from repro.compiler.loadable import Loadable
+from repro.errors import StoreError, StoreIntegrityError
+from repro.store.format import canonical_json, sha256_hex
+from repro.store.serialize import (
+    BUNDLE_KIND,
+    LOADABLE_KIND,
+    bundle_meta,
+    deserialize_bundle,
+    deserialize_loadable,
+    serialize_bundle,
+    serialize_loadable,
+)
+
+LAYOUT_VERSION = 1
+
+#: Environment variable the CLI reads for a default store root.
+STORE_ENV_VAR = "REPRO_STORE_DIR"
+DEFAULT_STORE_DIR = ".repro-store"
+
+
+def key_digest(key: tuple) -> str:
+    """Stable SHA-256 of a deployment key (str/int/float items only)."""
+    return sha256_hex(canonical_json(list(key)))
+
+
+@dataclass
+class StoreStats:
+    """Counters for one :class:`BundleStore` instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    integrity_failures: int = 0
+    evictions: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "integrity_failures": self.integrity_failures,
+            "evictions": self.evictions,
+            "bytes_written": self.bytes_written,
+            "bytes_read": self.bytes_read,
+        }
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One ``ls`` row: a ref plus its object's vitals."""
+
+    key_digest: str
+    object_digest: str
+    kind: str
+    name: str  # "network/config/precision/fidelity" for bundles
+    bytes: int
+    created: float
+    last_used: float
+
+    def render(self) -> str:
+        return (
+            f"{self.object_digest[:12]}  {self.bytes / 1024:>9.1f} KiB  "
+            f"{self.kind:<16} {self.name}"
+        )
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of a full-store verification sweep."""
+
+    checked: int = 0
+    ok: int = 0
+    problems: list[tuple[str, str]] = field(default_factory=list)  # (path, reason)
+
+    @property
+    def clean(self) -> bool:
+        return not self.problems
+
+    def render(self) -> str:
+        lines = [f"verified {self.checked} object(s): {self.ok} ok, "
+                 f"{len(self.problems)} problem(s)"]
+        lines.extend(f"  BAD {path}: {reason}" for path, reason in self.problems)
+        return "\n".join(lines)
+
+
+class BundleStore:
+    """Content-addressed persistent store for compiled artifacts."""
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        max_bytes: int | None = None,
+        max_objects: int | None = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise StoreError("max_bytes must be positive (or None for no cap)")
+        if max_objects is not None and max_objects <= 0:
+            raise StoreError("max_objects must be positive (or None for no cap)")
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+        self.max_objects = max_objects
+        self.stats = StoreStats()
+        (self.root / "objects").mkdir(parents=True, exist_ok=True)
+        (self.root / "refs").mkdir(parents=True, exist_ok=True)
+        marker = self.root / "store.json"
+        if marker.exists():
+            try:
+                layout = json.loads(marker.read_text())["layout"]
+            except (ValueError, KeyError) as exc:
+                raise StoreError(f"{marker}: unreadable store marker: {exc}") from exc
+            if layout != LAYOUT_VERSION:
+                raise StoreError(
+                    f"{self.root}: store layout {layout} != supported {LAYOUT_VERSION}"
+                )
+        else:
+            self._atomic_write(marker, canonical_json({"layout": LAYOUT_VERSION}))
+
+    # ------------------------------------------------------------------
+    # Paths and atomic publishing.
+    # ------------------------------------------------------------------
+
+    def _object_path(self, digest: str) -> Path:
+        return self.root / "objects" / digest[:2] / digest
+
+    def _ref_path(self, kdigest: str) -> Path:
+        return self.root / "refs" / f"{kdigest}.json"
+
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        """Publish via temp file + rename: no reader ever sees a torn file."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = path.parent / f".tmp-{os.getpid()}-{os.urandom(4).hex()}"
+        try:
+            temp.write_bytes(data)
+            os.replace(temp, path)
+        finally:
+            temp.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # Writing.
+    # ------------------------------------------------------------------
+
+    def _put_object(self, key: tuple, blob: bytes, ref_extra: dict) -> str:
+        digest = sha256_hex(blob)
+        object_path = self._object_path(digest)
+        # An existing file only short-circuits the write if its bytes
+        # still hash to the address — republishing heals in-place
+        # corruption instead of silently keeping it.
+        try:
+            fresh = sha256_hex(object_path.read_bytes()) == digest
+        except OSError:
+            fresh = False
+        if not fresh:
+            self._atomic_write(object_path, blob)
+            self.stats.bytes_written += len(blob)
+        now = time.time()
+        ref = {
+            "key": list(key),
+            "object": digest,
+            "bytes": len(blob),
+            "created": now,
+            "last_used": now,
+            **ref_extra,
+        }
+        self._atomic_write(self._ref_path(key_digest(key)), canonical_json(ref))
+        self.stats.writes += 1
+        self._enforce_capacity()
+        return digest
+
+    def put_bundle(self, key: tuple, bundle: BaremetalBundle) -> str:
+        """Serialise and publish; returns the object digest."""
+        meta = bundle_meta(bundle)
+        return self._put_object(
+            key,
+            serialize_bundle(bundle),
+            {
+                "kind": BUNDLE_KIND,
+                "name": f"{meta['network']}/{meta['config']}/"
+                f"{meta['precision']}/{meta['fidelity']}",
+                "artifact_digest": meta["artifact_digest"],
+            },
+        )
+
+    def put_loadable(self, key: tuple, loadable: Loadable) -> str:
+        return self._put_object(
+            key,
+            serialize_loadable(loadable),
+            {
+                "kind": LOADABLE_KIND,
+                "name": f"{loadable.network}/{loadable.config}/"
+                f"{loadable.precision.value}",
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Reading.
+    # ------------------------------------------------------------------
+
+    def _read_ref(self, kdigest: str) -> dict | None:
+        ref_path = self._ref_path(kdigest)
+        try:
+            raw = ref_path.read_bytes()
+        except FileNotFoundError:
+            return None
+        try:
+            ref = json.loads(raw.decode())
+            ref["object"], ref["bytes"]  # required fields
+        except (ValueError, KeyError, UnicodeDecodeError) as exc:
+            raise StoreIntegrityError(
+                f"ref does not parse: {exc}", path=str(ref_path)
+            ) from exc
+        return ref
+
+    def _read_object(self, ref: dict, kdigest: str) -> bytes:
+        object_path = self._object_path(ref["object"])
+        try:
+            blob = object_path.read_bytes()
+        except FileNotFoundError:
+            raise StoreIntegrityError(
+                f"ref {kdigest[:12]}… points at a missing object {ref['object'][:12]}…",
+                path=str(object_path),
+            ) from None
+        if sha256_hex(blob) != ref["object"]:
+            raise StoreIntegrityError(
+                "object bytes do not hash to their content address",
+                path=str(object_path),
+            )
+        self.stats.bytes_read += len(blob)
+        return blob
+
+    def _touch(self, kdigest: str, ref: dict) -> None:
+        ref = dict(ref)
+        ref["last_used"] = time.time()
+        self._atomic_write(self._ref_path(kdigest), canonical_json(ref))
+
+    def get_bundle(self, key: tuple) -> BaremetalBundle | None:
+        """The stored bundle for a deployment key, fully verified.
+
+        Returns ``None`` on a clean miss.  Raises
+        :class:`StoreIntegrityError` — after counting it — when bytes
+        exist but cannot be trusted; callers treat that as a miss and
+        recompile (see :class:`repro.serve.cache.BundleCache`).
+        """
+        kdigest = key_digest(key)
+        try:
+            ref = self._read_ref(kdigest)
+            if ref is None:
+                self.stats.misses += 1
+                return None
+            blob = self._read_object(ref, kdigest)
+            bundle = deserialize_bundle(blob, path=str(self._object_path(ref["object"])))
+            recorded = ref.get("artifact_digest")
+            if recorded is not None and bundle.artifact_digest() != recorded:
+                raise StoreIntegrityError(
+                    "bundle artifact digest disagrees with its ref",
+                    path=str(self._object_path(ref["object"])),
+                )
+        except StoreIntegrityError:
+            self.stats.integrity_failures += 1
+            raise
+        self._touch(kdigest, ref)
+        self.stats.hits += 1
+        return bundle
+
+    def get_loadable(self, key: tuple) -> Loadable | None:
+        kdigest = key_digest(key)
+        try:
+            ref = self._read_ref(kdigest)
+            if ref is None:
+                self.stats.misses += 1
+                return None
+            loadable = deserialize_loadable(self._read_object(ref, kdigest))
+        except StoreIntegrityError:
+            self.stats.integrity_failures += 1
+            raise
+        self._touch(kdigest, ref)
+        self.stats.hits += 1
+        return loadable
+
+    def contains(self, key: tuple) -> bool:
+        """Cheap presence probe (ref + object files exist; no hashing)."""
+        try:
+            ref = self._read_ref(key_digest(key))
+        except StoreIntegrityError:
+            return False
+        return ref is not None and self._object_path(ref["object"]).exists()
+
+    def discard(self, key: tuple) -> bool:
+        """Drop a deployment's ref (and its object when unreferenced)."""
+        kdigest = key_digest(key)
+        try:
+            ref = self._read_ref(kdigest)
+        except StoreIntegrityError:
+            ref = None
+        self._ref_path(kdigest).unlink(missing_ok=True)
+        if ref is not None:
+            self._drop_if_unreferenced(ref["object"])
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Inventory, verification, eviction.
+    # ------------------------------------------------------------------
+
+    def _refs(self) -> list[tuple[str, dict]]:
+        entries = []
+        for path in sorted((self.root / "refs").glob("*.json")):
+            try:
+                ref = self._read_ref(path.stem)
+            except StoreIntegrityError:
+                continue  # verify() reports these; inventory skips them
+            if ref is not None:
+                entries.append((path.stem, ref))
+        return entries
+
+    def ls(self) -> list[StoreEntry]:
+        """Every live ref, most recently used first."""
+        entries = [
+            StoreEntry(
+                key_digest=kdigest,
+                object_digest=ref["object"],
+                kind=ref.get("kind", "?"),
+                name=ref.get("name", "?"),
+                bytes=ref["bytes"],
+                created=ref.get("created", 0.0),
+                last_used=ref.get("last_used", 0.0),
+            )
+            for kdigest, ref in self._refs()
+        ]
+        return sorted(entries, key=lambda e: e.last_used, reverse=True)
+
+    def total_bytes(self) -> int:
+        return sum(
+            path.stat().st_size for path in (self.root / "objects").glob("*/*")
+        )
+
+    def __len__(self) -> int:
+        return sum(1 for _ in (self.root / "refs").glob("*.json"))
+
+    def verify(self) -> VerifyReport:
+        """Deep-check every ref and object; report, don't raise."""
+        report = VerifyReport()
+        referenced: set[str] = set()
+        for path in sorted((self.root / "refs").glob("*.json")):
+            report.checked += 1
+            try:
+                ref = self._read_ref(path.stem)
+                assert ref is not None
+                referenced.add(ref["object"])
+                blob = self._read_object(ref, path.stem)
+                if ref.get("kind") == LOADABLE_KIND:
+                    deserialize_loadable(blob)
+                else:
+                    bundle = deserialize_bundle(blob)
+                    recorded = ref.get("artifact_digest")
+                    if recorded is not None and bundle.artifact_digest() != recorded:
+                        raise StoreIntegrityError(
+                            "artifact digest disagrees with ref", path=str(path)
+                        )
+            except StoreIntegrityError as exc:
+                report.problems.append((str(path), str(exc)))
+            else:
+                report.ok += 1
+        for object_path in sorted((self.root / "objects").glob("*/*")):
+            if object_path.name not in referenced:
+                report.checked += 1
+                report.problems.append((str(object_path), "unreferenced object"))
+        return report
+
+    def _drop_if_unreferenced(self, digest: str) -> None:
+        if any(ref["object"] == digest for _, ref in self._refs()):
+            return
+        self._object_path(digest).unlink(missing_ok=True)
+
+    def _sweep_turds(self) -> None:
+        for turd in self.root.glob("**/.tmp-*"):
+            turd.unlink(missing_ok=True)
+
+    def gc(
+        self, max_bytes: int | None = None, max_objects: int | None = None
+    ) -> list[StoreEntry]:
+        """Evict least-recently-used refs until under the caps.
+
+        Also drops crashed writers' temp files and any object no ref
+        points at.  Returns the evicted entries, oldest first.
+        """
+        self._sweep_turds()
+        max_bytes = self.max_bytes if max_bytes is None else max_bytes
+        max_objects = self.max_objects if max_objects is None else max_objects
+        entries = self.ls()  # most recently used first
+        evicted: list[StoreEntry] = []
+        live_bytes = sum(entry.bytes for entry in entries)
+        while entries and (
+            (max_objects is not None and len(entries) > max_objects)
+            or (max_bytes is not None and live_bytes > max_bytes)
+        ):
+            victim = entries.pop()  # LRU tail
+            self._ref_path(victim.key_digest).unlink(missing_ok=True)
+            self._drop_if_unreferenced(victim.object_digest)
+            live_bytes -= victim.bytes
+            evicted.append(victim)
+            self.stats.evictions += 1
+        referenced = {entry.object_digest for entry in entries}
+        for object_path in (self.root / "objects").glob("*/*"):
+            if object_path.name not in referenced:
+                object_path.unlink(missing_ok=True)
+        return evicted
+
+    def _enforce_capacity(self) -> None:
+        if self.max_bytes is None and self.max_objects is None:
+            return
+        # Cheap pre-check before the full inventory pass.
+        if self.max_objects is not None and len(self) > self.max_objects:
+            self.gc()
+            return
+        if self.max_bytes is not None and self.total_bytes() > self.max_bytes:
+            self.gc()

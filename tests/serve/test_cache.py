@@ -129,3 +129,69 @@ def test_unknown_model_rejected():
         cache.bundle_for("nonexistent", NV_SMALL)
     with pytest.raises(ReproError):
         BundleCache(max_entries=0)
+
+
+# ----------------------------------------------------------------------
+# Store-backed tier: memory → disk → compile.
+# ----------------------------------------------------------------------
+
+
+def test_store_backed_miss_path(tmp_path):
+    from repro.store import BundleStore
+
+    store = BundleStore(tmp_path / "store")
+    first = BundleCache(store=store)
+    built = first.bundle_for("lenet5", NV_SMALL, fidelity="timing")
+    # The compile was published as a side effect…
+    assert first.stats.compiles == 1
+    assert first.stats.store_hits == 0
+    assert len(store) == 1
+    # …so a brand-new cache over the same store loads instead of building.
+    second = BundleCache(store=store)
+    fetched = second.bundle_for("lenet5", NV_SMALL, fidelity="timing")
+    assert second.stats.store_hits == 1
+    assert second.stats.compiles == 0
+    assert second.stats.misses == 1  # still a *memory* miss
+    assert fetched.artifact_digest() == built.artifact_digest()
+    # Once resident, memory wins — the store is not consulted again.
+    store_reads = store.stats.hits
+    second.bundle_for("lenet5", NV_SMALL, fidelity="timing")
+    assert second.stats.hits == 1
+    assert store.stats.hits == store_reads
+
+
+def test_stats_invariant_and_to_dict(tmp_path):
+    from repro.store import BundleStore
+
+    store = BundleStore(tmp_path / "store")
+    cache = BundleCache(store=store)
+    cache.bundle_for("lenet5", NV_SMALL, fidelity="timing")  # compile
+    cache.bundle_for("lenet5", NV_SMALL, fidelity="timing")  # memory hit
+    BundleCache(store=store).bundle_for("lenet5", NV_SMALL, fidelity="timing")
+    stats = cache.stats
+    # Every miss is resolved by exactly one of {store, compiler}.
+    assert stats.misses == stats.store_hits + stats.compiles
+    payload = stats.to_dict()
+    for field in (
+        "hits",
+        "misses",
+        "store_hits",
+        "store_errors",
+        "compiles",
+        "evictions",
+        "hit_rate",
+        "build_seconds",
+    ):
+        assert field in payload
+    assert payload["compiles"] == 1
+    assert payload["store_errors"] == 0
+    assert stats.build_seconds > 0.0
+
+
+def test_storeless_cache_never_counts_store_traffic():
+    cache = BundleCache()
+    cache.bundle_for("lenet5", NV_SMALL, fidelity="timing")
+    assert cache.stats.store_hits == 0
+    assert cache.stats.store_errors == 0
+    assert cache.stats.compiles == 1
+    assert cache.stats.misses == 1

@@ -138,6 +138,44 @@ def test_render_per_deployment_includes_wall_p99():
     assert "cycles p50 500" in slice_lines[0]
 
 
+def test_metrics_to_dict_splits_miss_resolution():
+    metrics = ServiceMetrics()
+    metrics.bundle_hits = 3
+    metrics.bundle_misses = 2
+    metrics.bundle_store_hits = 1
+    metrics.bundle_compiles = 1
+    payload = metrics.to_dict()
+    assert payload["bundle_store_hits"] == 1
+    assert payload["bundle_compiles"] == 1
+    assert "1 from store, 1 compiled" in metrics.render()
+
+
+def test_service_classifies_store_hits_vs_compiles(tmp_path):
+    from repro.serve import BundleCache
+    from repro.store import BundleStore
+
+    store = BundleStore(tmp_path / "store")
+    spec = DeploymentSpec("lenet5", fidelity="timing")
+
+    compiler = InferenceService(cache=BundleCache(store=store))
+    compiler.request(spec)
+    compiler.run_pending()
+    assert compiler.metrics.bundle_compiles == 1
+    assert compiler.metrics.bundle_store_hits == 0
+
+    warmed = InferenceService(cache=BundleCache(store=store))
+    warmed.request(spec)
+    warmed.run_pending()
+    assert warmed.metrics.bundle_store_hits == 1
+    assert warmed.metrics.bundle_compiles == 0
+    # The snapshot exposes both the cache's split and the store's own
+    # counters when a store is attached.
+    snapshot = warmed.snapshot()
+    assert snapshot["cache"]["store_hits"] == 1
+    assert snapshot["store"]["hits"] == 1
+    assert "store" not in InferenceService().snapshot()
+
+
 def test_service_outstanding_and_snapshot():
     service = InferenceService()
     assert service.outstanding == 0

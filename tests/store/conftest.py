@@ -1,0 +1,31 @@
+"""Shared fixtures for the persistent-store suites.
+
+One module-scoped lenet5 bundle (cheap: timing fidelity, no DBB
+payloads) feeds every serialization/corruption test, so the suite pays
+the offline flow once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baremetal.pipeline import BaremetalBundle, bundle_cache_key
+from repro.serve.cache import BundleCache
+from repro.store import BundleStore
+
+
+@pytest.fixture(scope="session")
+def lenet_bundle() -> BaremetalBundle:
+    return BundleCache().bundle_for("lenet5", "nv_small", fidelity="timing")
+
+
+@pytest.fixture(scope="session")
+def lenet_key() -> tuple:
+    from repro.nvdla.config import Precision
+
+    return bundle_cache_key("lenet5", "nv_small", Precision.INT8, "timing")
+
+
+@pytest.fixture
+def store(tmp_path) -> BundleStore:
+    return BundleStore(tmp_path / "store")

@@ -1,0 +1,114 @@
+"""Concurrent access: racing writers converge, readers never tear.
+
+The store's only write primitive is temp-file + ``os.replace`` into
+place, so N writers racing on one digest key must end with exactly one
+valid object (same content address for all of them), and a reader
+polling throughout must only ever observe a clean miss or a fully
+verified bundle — never an integrity error, never a torn file.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import StoreIntegrityError
+from repro.store import BundleStore, key_digest, sha256_hex, serialize_bundle
+
+
+def test_racing_writers_one_valid_artifact(store, lenet_bundle, lenet_key):
+    barrier = threading.Barrier(4)
+    errors: list[Exception] = []
+
+    def writer() -> None:
+        try:
+            barrier.wait()
+            for _ in range(5):
+                store.put_bundle(lenet_key, lenet_bundle)
+        except Exception as exc:  # pragma: no cover - the assertion below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not errors
+    # Exactly one object file, bytes hashing to its own name.
+    objects = list((store.root / "objects").glob("*/*"))
+    assert len(objects) == 1
+    assert sha256_hex(objects[0].read_bytes()) == objects[0].name
+    # Exactly one ref, pointing at that object.
+    assert len(store) == 1
+    loaded = store.get_bundle(lenet_key)
+    assert loaded is not None
+    assert loaded.artifact_digest() == lenet_bundle.artifact_digest()
+    # No half-written temp files left behind.
+    assert not list(store.root.glob("**/.tmp-*"))
+
+
+def test_reader_never_sees_torn_state(tmp_path, lenet_bundle, lenet_key):
+    """A reader polling while a writer republishes in a loop sees only
+    {clean miss, verified bundle} — atomic rename hides every
+    intermediate state."""
+    root = tmp_path / "race"
+    writer_store = BundleStore(root)
+    reader_store = BundleStore(root)
+    expected = lenet_bundle.artifact_digest()
+    stop = threading.Event()
+    problems: list[str] = []
+
+    def writer() -> None:
+        for _ in range(25):
+            writer_store.put_bundle(lenet_key, lenet_bundle)
+        stop.set()
+
+    def reader() -> None:
+        seen_bundle = False
+        while not stop.is_set() or not seen_bundle:
+            try:
+                bundle = reader_store.get_bundle(lenet_key)
+            except StoreIntegrityError as exc:
+                problems.append(f"torn read: {exc}")
+                break
+            if bundle is not None:
+                seen_bundle = True
+                if bundle.artifact_digest() != expected:
+                    problems.append("wrong bundle returned")
+                    break
+
+    threads = [threading.Thread(target=writer), threading.Thread(target=reader)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not problems
+
+
+def test_distinct_keys_race_without_interference(store, lenet_bundle, lenet_key):
+    """Writers on different keys share one object (identical content)
+    but keep independent refs."""
+    keys = [lenet_key[:-1] + (seed,) for seed in range(6)]
+    barrier = threading.Barrier(len(keys))
+
+    def writer(key: tuple) -> None:
+        barrier.wait()
+        store.put_bundle(key, lenet_bundle)
+
+    threads = [threading.Thread(target=writer, args=(key,)) for key in keys]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert len(store) == len(keys)
+    assert len(list((store.root / "objects").glob("*/*"))) == 1
+    expected_digest = sha256_hex(serialize_bundle(lenet_bundle))
+    for key in keys:
+        assert store.ls()[0].object_digest == expected_digest
+        loaded = store.get_bundle(key)
+        assert loaded is not None and loaded.artifact_digest() == (
+            lenet_bundle.artifact_digest()
+        )
+    ref_names = {path.stem for path in (store.root / "refs").glob("*.json")}
+    assert ref_names == {key_digest(key) for key in keys}

@@ -110,6 +110,94 @@ def test_run_fast_mode_autocalibrates(capsys):
     assert "DONE" in out and "cycles" in out
 
 
+def test_warmup_then_store_hits(tmp_path, capsys):
+    root = str(tmp_path / "store")
+    code = main(
+        ["warmup", "--models", "lenet5", "--fidelity", "timing", "--store", root]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "compiled in" in out
+    assert "1 artifact(s)" in out
+    # Re-warming the same deployment fetches instead of recompiling.
+    assert main(
+        ["warmup", "--models", "lenet5", "--fidelity", "timing", "--store", root]
+    ) == 0
+    assert "fetched in" in capsys.readouterr().out
+
+
+def test_warmup_writes_stats_json(tmp_path, capsys):
+    import json
+
+    root = str(tmp_path / "store")
+    out_path = tmp_path / "warmup.json"
+    code = main(
+        [
+            "warmup", "--models", "lenet5", "--fidelity", "timing",
+            "--store", root, "--out", str(out_path),
+        ]
+    )
+    capsys.readouterr()
+    assert code == 0
+    payload = json.loads(out_path.read_text())
+    assert payload["entries"] == 1
+    assert payload["cache"]["compiles"] == 1
+    assert payload["stats"]["writes"] >= 1
+
+
+def test_store_ls_verify_gc(tmp_path, capsys):
+    root = str(tmp_path / "store")
+    assert main(
+        ["warmup", "--models", "lenet5", "--fidelity", "timing", "--store", root]
+    ) == 0
+    capsys.readouterr()
+
+    assert main(["store", "ls", "--store", root]) == 0
+    out = capsys.readouterr().out
+    assert "lenet5/nv_small" in out and "1 artifact(s)" in out
+
+    assert main(["store", "verify", "--store", root]) == 0
+    assert "1 ok, 0 problem(s)" in capsys.readouterr().out
+
+    # A gc bounded to zero bytes evicts the artifact...
+    assert main(["store", "gc", "--store", root, "--max-mib", "0"]) == 0
+    assert "1 evicted" in capsys.readouterr().out
+    # ...after which ls shows an empty store.
+    assert main(["store", "ls", "--store", root]) == 0
+    assert "0 artifact(s)" in capsys.readouterr().out
+
+
+def test_store_verify_fails_on_corruption(tmp_path, capsys):
+    root = tmp_path / "store"
+    assert main(
+        ["warmup", "--models", "lenet5", "--fidelity", "timing", "--store", str(root)]
+    ) == 0
+    capsys.readouterr()
+    victim = next((root / "objects").glob("*/*"))
+    blob = bytearray(victim.read_bytes())
+    blob[-1] ^= 0xFF
+    victim.write_bytes(bytes(blob))
+    assert main(["store", "verify", "--store", str(root)]) == 1
+    assert "BAD" in capsys.readouterr().out
+
+
+def test_serve_with_store_prewarms_from_disk(tmp_path, capsys):
+    root = str(tmp_path / "store")
+    assert main(
+        ["warmup", "--models", "lenet5", "--fidelity", "timing", "--store", root]
+    ) == 0
+    capsys.readouterr()
+    code = main(
+        [
+            "serve", "--models", "lenet5", "--requests", "3",
+            "--fidelity", "timing", "--store", root,
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "1 from store, 0 compiled" in out
+
+
 def test_serve_unknown_model_rejected():
     with pytest.raises(SystemExit):
         main(["serve", "--models", "nonexistent"])
