@@ -9,7 +9,9 @@ Exposes the flows a downstream user runs most::
     python -m repro table1 | table2 | table3
     python -m repro serve --models lenet5,resnet18 --requests 32
     python -m repro serve --mode fast --calibration cal.json
+    python -m repro serve --processes 4 --arrival poisson --rps 200
     python -m repro bench-serve --requests 8
+    python -m repro bench-serve --mode fast --processes 4
     python -m repro bench-cluster --policy all --arrival poisson --rps 100 --seed 7
     python -m repro calibrate --models lenet5,resnet18 --out cal.json
     python -m repro synth --config nv_full
@@ -245,8 +247,53 @@ def _serve_calibration(args: argparse.Namespace):
     )
 
 
+def _arrival_gaps(args: argparse.Namespace, count: int) -> list[float] | None:
+    """Inter-arrival delays for the plane's streaming intake."""
+    import numpy as np
+
+    arrival = getattr(args, "arrival", "none")
+    if arrival == "none" or count == 0:
+        return None
+    if args.rps <= 0:
+        raise SystemExit("--rps must be positive for paced arrivals")
+    if arrival == "constant":
+        return [1.0 / args.rps] * count
+    rng = np.random.default_rng((args.seed, 0xA221))  # arrivals stream
+    return list(rng.exponential(1.0 / args.rps, size=count))
+
+
+def _cmd_serve_plane(args: argparse.Namespace, store) -> int:
+    """`serve --processes N`: the process-parallel plane."""
+    from repro.serve import BundleCache, ServingPlane
+
+    plane = ServingPlane(
+        processes=args.processes,
+        max_batch_size=args.batch_size,
+        input_seed=args.seed,
+        calibration=_serve_calibration(args),
+        cache=BundleCache(store=store) if store is not None else None,
+    )
+    workload = _build_workload(args)
+    print(
+        f"serving {len(workload)} requests over "
+        f"{len({d for d, _ in workload})} deployment(s) on {args.config} "
+        f"across {args.processes} worker processes..."
+    )
+    with plane:
+        requests = [plane.request(d, image) for d, image in workload]
+        responses = plane.serve(requests, _arrival_gaps(args, len(requests)))
+    failures = [r for r in responses if not r.ok]
+    print(plane.metrics.render())
+    if failures:
+        print(f"FAILED requests: {[r.request_id for r in failures]}")
+    return 1 if failures else 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import BundleCache, InferenceService, shared_cache
+
+    if args.processes > 1:
+        return _cmd_serve_plane(args, _open_store(args))
 
     # The shared cache keeps fast-mode calibration (which already built
     # every deployment's bundle) and the service on one set of builds.
@@ -278,13 +325,88 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _bench_serve_processes(args: argparse.Namespace) -> int:
+    """`bench-serve --processes N`: N worker processes vs the
+    single-process service, same workload, bit-identity checked."""
+    import time
+
+    import numpy as np
+
+    from repro.serve import BundleCache, InferenceService, ServingPlane, shared_cache
+
+    workload = _build_workload(args)
+    n = len(workload)
+    unique = list(dict.fromkeys(d for d, _ in workload))
+    calibration = _serve_calibration(args)
+    store = _open_store(args)
+    cache = BundleCache(store=store) if store is not None else shared_cache()
+
+    service = InferenceService(
+        cache=cache,
+        max_batch_size=args.batch_size,
+        workers_per_key=args.workers,
+        input_seed=args.seed,
+        calibration=calibration,
+    )
+    # Warm: compile every deployment once so both timed windows measure
+    # steady-state serving, not the offline flow.
+    for deployment, image in workload[: len(unique)]:
+        service.request(deployment, image)
+    service.run_pending()
+
+    began = time.perf_counter()
+    for deployment, image in workload:
+        service.request(deployment, image)
+    # Sorted by id = workload order, matching the plane's return order.
+    single_responses = sorted(service.run_pending(), key=lambda r: r.request_id)
+    single_s = time.perf_counter() - began
+
+    plane = ServingPlane(
+        processes=args.processes,
+        max_batch_size=args.batch_size,
+        input_seed=args.seed,
+        calibration=calibration,
+        cache=cache,
+    )
+    with plane:
+        plane.warm(unique)
+        requests = [plane.request(d, image) for d, image in workload]
+        began = time.perf_counter()
+        multi_responses = plane.serve(requests, _arrival_gaps(args, n))
+        multi_s = time.perf_counter() - began
+
+    if any(not r.ok for r in single_responses + multi_responses):
+        print("serve run failed")
+        return 1
+    mismatches = [
+        s.request_id
+        for s, m in zip(single_responses, multi_responses)
+        if not np.array_equal(s.output, m.output) or s.cycles != m.cycles
+    ]
+    print(f"1 process      : {single_s:.2f} s  ({n / single_s:.2f} req/s)")
+    print(
+        f"{args.processes} processes    : {multi_s:.2f} s  "
+        f"({n / multi_s:.2f} req/s)"
+    )
+    print(f"speedup: {single_s / multi_s:.2f}x on {args.processes} processes")
+    print(
+        "outputs bit-identical to single-process: "
+        + ("yes" if not mismatches else f"NO — requests {mismatches}")
+    )
+    print()
+    print(plane.metrics.render())
+    return 1 if mismatches else 0
+
+
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
     """Head-to-head serving benchmarks.
 
     - ``--mode cycle_accurate`` (default): cold per-request offline
       flow vs the cached cycle-accurate service (the PR-1 comparison);
     - ``--mode fast``: cached cycle-accurate service vs the calibrated
-      fast tier, same workload, shared bundle cache.
+      fast tier, same workload, shared bundle cache;
+    - ``--processes N`` (N > 1): the process-parallel plane vs the
+      single-process service, with a bit-identity check.
     """
     import time
 
@@ -294,6 +416,9 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     from repro.core import Soc
     from repro.nn.zoo import ZOO
     from repro.serve import BundleCache, InferenceService, shared_cache
+
+    if args.processes > 1:
+        return _bench_serve_processes(args)
 
     workload = _build_workload(args)
     config = get_config(args.config)
@@ -671,6 +796,16 @@ def build_parser() -> argparse.ArgumentParser:
         serve.add_argument("--store", default=None,
                            help="persistent bundle store directory: misses fetch "
                                 "verified artifacts from disk before compiling")
+        serve.add_argument("--processes", type=int, default=1,
+                           help="worker processes; >1 serves on the "
+                                "process-parallel plane (bundles shipped by "
+                                "digest via the store)")
+        serve.add_argument("--arrival", default="none",
+                           choices=["none", "constant", "poisson"],
+                           help="stream arrivals into the plane instead of "
+                                "offering the whole workload at once")
+        serve.add_argument("--rps", type=float, default=50.0,
+                           help="arrival rate for --arrival constant/poisson")
 
     cluster = sub.add_parser(
         "bench-cluster",

@@ -19,7 +19,14 @@ from repro.core.address_map import AddressMap, DEFAULT_MAP
 from repro.core.arbiter import DramArbiter
 from repro.core.calibration import CalibrationEntry, CalibrationTable, OverheadParams
 from repro.core.executor import BaremetalExecutor, RunStats
-from repro.core.fastpath import FastPathEstimate, FastPathExecutor, ResidentStats, calibrate
+from repro.core.fastpath import (
+    FastPathEstimate,
+    FastPathExecutor,
+    FastPathRunRequest,
+    FastPathRunResult,
+    ResidentStats,
+    calibrate,
+)
 from repro.core.nvdla_wrapper import NvdlaWrapper
 from repro.core.soc import Soc, SocRunResult
 from repro.core.system_builder import TestSystem, ZynqPreloader
@@ -33,6 +40,8 @@ __all__ = [
     "DramArbiter",
     "FastPathEstimate",
     "FastPathExecutor",
+    "FastPathRunRequest",
+    "FastPathRunResult",
     "NvdlaWrapper",
     "OverheadParams",
     "ResidentStats",

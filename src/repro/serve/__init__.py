@@ -5,12 +5,20 @@ many requests, across models/configs/precisions, served from memoised
 bare-metal artefacts on a pool of reusable simulated SoCs.
 
 - :class:`BundleCache` — the offline flow runs once per deployment.
-- :class:`RequestScheduler` — fair per-deployment batching.
+- :class:`RequestScheduler` — fair per-deployment batching, with an
+  admit-into-forming-batch path for continuous batching.
 - :class:`WorkerPool` / :class:`SocWorker` / :class:`FastPathWorker` —
   reusable execution tiers: cycle-accurate SoCs and the calibrated
   fast path (``DeploymentSpec(execution_mode="fast")``).
-- :class:`InferenceService` — the facade; :class:`ServiceMetrics` for
-  throughput / latency percentiles / hit rates, per deployment.
+- :class:`InferenceService` — the synchronous single-process facade;
+  :class:`ServiceMetrics` for throughput / latency percentiles / hit
+  rates, per deployment and per worker process.
+- :class:`ServingPlane` / :class:`ProcessWorkerPool` — the
+  process-parallel plane: an asyncio request plane (streaming arrivals,
+  continuous batching) over spawn-safe worker processes that rehydrate
+  bundles from the persistent store by cache key.  Outputs are
+  bit-identical to the single-process service (see
+  :func:`~repro.serve.request.request_rng`).
 """
 
 from repro.serve.cache import BundleCache, BundleCacheStats, shared_cache
@@ -20,12 +28,15 @@ from repro.serve.metrics import (
     ServiceMetrics,
     percentile,
 )
+from repro.serve.plane import ServingPlane
+from repro.serve.procpool import ProcessStats, ProcessWorkerPool
 from repro.serve.request import (
     DeploymentSpec,
     InferenceRequest,
     InferenceResponse,
     make_input,
     make_input_for,
+    request_rng,
 )
 from repro.serve.scheduler import Batch, RequestScheduler
 from repro.serve.service import InferenceService
@@ -48,8 +59,11 @@ __all__ = [
     "InferenceResponse",
     "InferenceService",
     "LatencySummary",
+    "ProcessStats",
+    "ProcessWorkerPool",
     "RequestScheduler",
     "ServiceMetrics",
+    "ServingPlane",
     "SocWorker",
     "WorkerPool",
     "hardware_key",
@@ -57,5 +71,6 @@ __all__ = [
     "make_input_for",
     "pack_input_image",
     "percentile",
+    "request_rng",
     "shared_cache",
 ]

@@ -104,6 +104,10 @@ class ServiceMetrics:
     wall_latencies: list[float] = field(default_factory=list)
     cycle_latencies: list[float] = field(default_factory=list)
     per_deployment: dict[str, DeploymentMetrics] = field(default_factory=dict)
+    # Worker-process slot → its counters (runs, busy_seconds, batches,
+    # restarts), aggregated by the serving plane after each drain.  The
+    # single-process service leaves this empty.
+    per_process: dict[int, dict] = field(default_factory=dict)
 
     def record(
         self, wall_seconds: float, cycles: int, ok: bool, deployment: str | None = None
@@ -122,6 +126,14 @@ class ServiceMetrics:
             slice_.wall_seconds += wall_seconds
             slice_.wall_latencies.append(wall_seconds)
             slice_.cycle_latencies.append(float(cycles))
+
+    def record_process(self, slot: int, stats: dict) -> None:
+        """Fold one worker process's counters into the aggregate view."""
+        self.per_process[slot] = dict(stats)
+
+    @property
+    def process_restarts(self) -> int:
+        return sum(s.get("restarts", 0) for s in self.per_process.values())
 
     @property
     def cache_hit_rate(self) -> float:
@@ -166,6 +178,10 @@ class ServiceMetrics:
                 name: slice_.to_dict()
                 for name, slice_ in sorted(self.per_deployment.items())
             },
+            "per_process": {
+                str(slot): dict(stats)
+                for slot, stats in sorted(self.per_process.items())
+            },
         }
 
     def render(self) -> str:
@@ -196,5 +212,13 @@ class ServiceMetrics:
                 f"p99 {wall_slice.p99 * 1e3:.1f} ms  "
                 f"max {wall_slice.max * 1e3:.1f} ms  "
                 f"cycles p50 {cyc_slice.p50:,.0f}  p99 {cyc_slice.p99:,.0f}"
+            )
+        for slot in sorted(self.per_process):
+            stats = self.per_process[slot]
+            lines.append(
+                f"  process {slot}: {stats.get('runs', 0)} runs in "
+                f"{stats.get('batches', 0)} batches, "
+                f"busy {stats.get('busy_seconds', 0.0):.2f} s, "
+                f"{stats.get('restarts', 0)} restarts"
             )
         return "\n".join(lines)

@@ -1,0 +1,295 @@
+"""Process-parallel serving plane: asyncio intake over worker processes.
+
+:class:`ServingPlane` is the multi-core sibling of the synchronous
+:class:`~repro.serve.service.InferenceService`::
+
+    requests ──► asyncio request plane ──► forming batches ──► worker
+    (paced       (admits arrivals into     (sealed at          processes
+    arrivals)    the open batch)           dispatch)           (1 per core)
+
+The request plane accepts *streaming* arrivals (optionally paced by
+inter-arrival gaps) and does continuous batching: a popped
+under-capacity batch is held **open** — same-deployment arrivals are
+admitted straight into it while the dispatcher waits for a free worker
+process (plus an optional admission window) — and is sealed only at
+dispatch, the admission cutoff.
+
+Batches execute on a :class:`~repro.serve.procpool.ProcessWorkerPool`.
+Bundles never cross the process boundary: the parent compiles each
+deployment once, publishes it to the shared
+:class:`~repro.store.BundleStore`, and ships requests carrying only the
+deployment's ``bundle_cache_key`` — workers rehydrate from the store.
+
+Determinism: synthesised inputs are drawn from
+:func:`~repro.serve.request.request_rng`, seeded by ``(input_seed,
+request_id)`` on whichever side synthesises them, so an N-process plane
+returns outputs bit-identical to the single-process service —
+``tests/serve/test_plane.py`` runs the differential.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import shutil
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.baremetal.pipeline import bundle_cache_key
+from repro.core.calibration import CalibrationTable
+from repro.core.fastpath import FastPathRunRequest, FastPathRunResult
+from repro.errors import ReproError
+from repro.serve.cache import BundleCache
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.procpool import ProcessWorkerPool
+from repro.serve.request import DeploymentSpec, InferenceRequest, InferenceResponse
+from repro.serve.scheduler import Batch, RequestScheduler
+from repro.store import BundleStore
+
+
+class ServingPlane:
+    """Serve batched inference across N worker processes."""
+
+    def __init__(
+        self,
+        processes: int = 2,
+        max_batch_size: int = 8,
+        input_seed: int = 7,
+        calibration: CalibrationTable | None = None,
+        cache: BundleCache | None = None,
+        store_root: str | Path | None = None,
+        admission_window_s: float = 0.0,
+        max_resident_bundles: int | None = None,
+        batch_timeout_s: float | None = None,
+    ) -> None:
+        if admission_window_s < 0:
+            raise ReproError("admission window must be >= 0")
+        self.input_seed = input_seed
+        self.admission_window_s = admission_window_s
+        self.scheduler = RequestScheduler(max_batch_size=max_batch_size)
+        self.metrics = ServiceMetrics()
+        # The plane *requires* a persistent store — it is the bundle
+        # transport to the worker processes.  Wire one up from, in
+        # order: the caller's cache, an explicit root, a private
+        # tempdir (cleaned up by close()).
+        self._own_store_root: str | None = None
+        self._attached_store = False
+        self.cache = cache if cache is not None else BundleCache()
+        if self.cache.store is None:
+            if store_root is None:
+                store_root = tempfile.mkdtemp(prefix="repro-plane-store-")
+                self._own_store_root = store_root
+            self.cache.store = BundleStore(store_root)
+            self._attached_store = True
+        self.pool = ProcessWorkerPool(
+            processes=processes,
+            store_root=self.cache.store.root,
+            calibration=calibration,
+            max_resident_bundles=max_resident_bundles,
+            batch_timeout_s=batch_timeout_s,
+        )
+        self._published: set[DeploymentSpec] = set()
+        self._first_miss: set[DeploymentSpec] = set()
+        self._next_request_id = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker processes (idempotent; serve() calls it)."""
+        self.pool.start()
+
+    def close(self) -> None:
+        self.pool.close()
+        if self._attached_store:
+            # The store was ours, not the caller's cache's — detach it
+            # so a shared cache never points at a vanished directory.
+            self.cache.store = None
+            self._attached_store = False
+        if self._own_store_root is not None:
+            shutil.rmtree(self._own_store_root, ignore_errors=True)
+            self._own_store_root = None
+
+    def __enter__(self) -> "ServingPlane":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Intake helpers.
+    # ------------------------------------------------------------------
+
+    def request(
+        self, deployment: DeploymentSpec, input_image=None
+    ) -> InferenceRequest:
+        """Build a request with a fresh id (NOT submitted — serve() is
+        the intake; this mirrors the service's id allocation)."""
+        request = InferenceRequest(self._next_request_id, deployment, input_image)
+        self._next_request_id += 1
+        return request
+
+    def warm(self, deployments: list[DeploymentSpec]) -> None:
+        """Compile + publish each deployment before serving starts, so
+        arrival pacing is not distorted by first-touch compiles."""
+        for deployment in deployments:
+            self._publish(deployment)
+
+    def _publish(self, deployment: DeploymentSpec) -> None:
+        """Parent-side compile-once: make sure the deployment's bundle
+        is in the store the worker processes rehydrate from."""
+        if deployment in self._published:
+            return
+        misses_before = self.cache.stats.misses
+        store_hits_before = self.cache.stats.store_hits
+        self.cache.bundle_for(
+            deployment.model,
+            deployment.config,
+            precision=deployment.precision,
+            fidelity=deployment.fidelity,
+        )
+        if self.cache.stats.misses == misses_before:
+            self.metrics.bundle_hits += 1
+        else:
+            self.metrics.bundle_misses += 1
+            self._first_miss.add(deployment)
+            if self.cache.stats.store_hits > store_hits_before:
+                self.metrics.bundle_store_hits += 1
+            else:
+                self.metrics.bundle_compiles += 1
+        self._published.add(deployment)
+
+    def _run_request(self, request: InferenceRequest) -> FastPathRunRequest:
+        """The picklable wire form: inputs by seed, bundles by key."""
+        spec = request.deployment
+        return FastPathRunRequest(
+            request_id=request.request_id,
+            model=spec.model,
+            config=spec.config,
+            precision=spec.precision.value,
+            fidelity=spec.fidelity,
+            execution_mode=spec.execution_mode,
+            frequency_hz=spec.frequency_hz,
+            memory_bus_width_bits=spec.memory_bus_width_bits,
+            bundle_key=bundle_cache_key(
+                spec.model, spec.config, spec.precision, spec.fidelity
+            ),
+            input_image=request.input_image,
+            input_seed=(self.input_seed, request.request_id),
+        )
+
+    def _response(
+        self, batch: Batch, request: InferenceRequest, result: FastPathRunResult, slot: int
+    ) -> InferenceResponse:
+        deployment = batch.deployment
+        cache_hit = True
+        if deployment in self._first_miss:
+            self._first_miss.discard(deployment)
+            cache_hit = False
+        self.metrics.record(
+            result.wall_seconds,
+            result.cycles,
+            result.ok,
+            deployment=deployment.describe(),
+        )
+        return InferenceResponse(
+            request_id=request.request_id,
+            deployment=deployment,
+            ok=result.ok,
+            output=result.output,
+            cycles=result.cycles,
+            sim_seconds=result.sim_seconds,
+            wall_seconds=result.wall_seconds,
+            cache_hit=cache_hit,
+            worker_id=result.worker_id,
+            batch_id=batch.batch_id,
+            notes={"process": slot},
+        )
+
+    # ------------------------------------------------------------------
+    # Serving.
+    # ------------------------------------------------------------------
+
+    def serve(
+        self,
+        workload: list[InferenceRequest],
+        gaps: list[float] | None = None,
+    ) -> list[InferenceResponse]:
+        """Serve a workload; returns responses ordered by request id.
+
+        ``gaps[i]`` is the inter-arrival delay (seconds) awaited before
+        request *i* is submitted — the streaming-arrival path.  With no
+        gaps the whole workload arrives at once (offered-load mode).
+        """
+        if gaps is not None and len(gaps) != len(workload):
+            raise ReproError(
+                f"{len(gaps)} gaps for {len(workload)} requests"
+            )
+        self.start()
+        began = time.perf_counter()
+        responses = asyncio.run(self._serve_async(workload, gaps))
+        self.metrics.elapsed_seconds += time.perf_counter() - began
+        for slot, stats in self.pool.stats().items():
+            self.metrics.record_process(slot, stats.to_dict())
+        return sorted(responses, key=lambda r: r.request_id)
+
+    async def _serve_async(
+        self,
+        workload: list[InferenceRequest],
+        gaps: list[float] | None,
+    ) -> list[InferenceResponse]:
+        loop = asyncio.get_running_loop()
+        free: asyncio.Queue = asyncio.Queue()
+        for handle in self.pool.handles:
+            free.put_nowait(handle)
+        futures: dict[int, asyncio.Future] = {}
+        tasks: list[asyncio.Task] = []
+
+        async def run_batch(batch: Batch) -> None:
+            # Waiting for a worker (and the optional admission window)
+            # happens while the batch is still open: arrivals keep
+            # joining until the seal right before dispatch.
+            handle = await free.get()
+            try:
+                if not batch.sealed:
+                    if self.admission_window_s > 0:
+                        await asyncio.sleep(self.admission_window_s)
+                    self.scheduler.seal(batch)
+                runs = [self._run_request(r) for r in batch.requests]
+                results = await loop.run_in_executor(
+                    executor, self.pool.run_batch, handle, runs
+                )
+            except Exception as exc:
+                self.scheduler.seal(batch)
+                for request in batch.requests:
+                    future = futures[request.request_id]
+                    if not future.done():
+                        future.set_exception(exc)
+                return
+            finally:
+                free.put_nowait(handle)
+            for request, result in zip(batch.requests, results):
+                futures[request.request_id].set_result(
+                    self._response(batch, request, result, handle.slot)
+                )
+            self.metrics.batches += 1
+
+        def pump() -> None:
+            while (batch := self.scheduler.next_batch(keep_open=True)) is not None:
+                tasks.append(asyncio.create_task(run_batch(batch)))
+
+        with ThreadPoolExecutor(max_workers=len(self.pool.handles)) as executor:
+            for index, request in enumerate(workload):
+                if gaps is not None and gaps[index] > 0:
+                    await asyncio.sleep(gaps[index])
+                self._publish(request.deployment)
+                futures[request.request_id] = loop.create_future()
+                self.scheduler.submit(request)
+                pump()
+            pump()
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            return [await futures[request.request_id] for request in workload]

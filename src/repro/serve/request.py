@@ -33,6 +33,20 @@ def make_input_for(net: Network, rng: np.random.Generator) -> np.ndarray:
     return make_input(net.input_shape, rng)
 
 
+def request_rng(input_seed: int, request_id: int) -> np.random.Generator:
+    """The per-request input generator: seeded by ``(seed, request_id)``.
+
+    The serving determinism convention: every input a service
+    synthesises for request *i* is drawn from a generator seeded by the
+    service seed *and* the request id — never from a generator shared
+    across requests — so the tensor a request receives is independent
+    of batch composition, drain order and worker/process count.  An
+    N-process serving plane is bit-identical to the single-process
+    service because both sides derive inputs through this function.
+    """
+    return np.random.default_rng((input_seed, request_id))
+
+
 @dataclass(frozen=True)
 class DeploymentSpec:
     """One unique (model, hardware, precision) service target.

@@ -6,6 +6,19 @@ and weight preloads.  Batch dispatch round-robins across deployments
 (ordered by their oldest pending request), which keeps a deployment
 with a deep backlog from starving the others — the fairness property
 `tests/serve/test_scheduler.py` pins down.
+
+Continuous batching: a dispatcher that is not yet executing a batch
+can take it *open* (``next_batch(keep_open=True)``).  While a batch is
+open, newly submitted requests for the same deployment are admitted
+straight into it — they join the forming batch instead of waiting a
+whole round-robin drain for their deployment's next turn.  The batch
+seals when it reaches ``max_batch_size`` or when the dispatcher calls
+:meth:`RequestScheduler.seal` at execution time; the seal is the
+admission cutoff, after which arrivals queue for the next batch.  The
+asyncio serving plane (:mod:`repro.serve.plane`) holds batches open
+for its admission window; the synchronous
+:class:`~repro.serve.service.InferenceService` never does, so its
+drain semantics are unchanged.
 """
 
 from __future__ import annotations
@@ -19,11 +32,17 @@ from repro.serve.request import DeploymentSpec, InferenceRequest
 
 @dataclass
 class Batch:
-    """A run of same-deployment requests dispatched together."""
+    """A run of same-deployment requests dispatched together.
+
+    ``sealed`` is False only while the batch is *forming* — held open
+    by a dispatcher so late arrivals can still join (continuous
+    batching).  A sealed batch's membership is final.
+    """
 
     batch_id: int
     deployment: DeploymentSpec
     requests: list[InferenceRequest] = field(default_factory=list)
+    sealed: bool = True
 
     def __len__(self) -> int:
         return len(self.requests)
@@ -39,23 +58,43 @@ class RequestScheduler:
         # Deployment → FIFO of its pending requests; the dict itself is
         # ordered by first-seen deployment, giving the round-robin ring.
         self._queues: "OrderedDict[DeploymentSpec, list[InferenceRequest]]" = OrderedDict()
+        # Deployment → its currently forming (unsealed) batch, if any.
+        self._open: dict[DeploymentSpec, Batch] = {}
         self._arrivals = 0
         self._batches = 0
+        self.admitted_into_open = 0  # continuous-batching admissions
 
     def submit(self, request: InferenceRequest) -> None:
         request.arrival_order = self._arrivals
         self._arrivals += 1
+        batch = self._open.get(request.deployment)
+        if batch is not None and len(batch) < self.max_batch_size:
+            # Admit into the forming batch instead of queueing for the
+            # deployment's next round-robin turn.
+            batch.requests.append(request)
+            self.admitted_into_open += 1
+            if len(batch) >= self.max_batch_size:
+                self.seal(batch)
+            return
         self._queues.setdefault(request.deployment, []).append(request)
 
     def pending(self) -> int:
+        """Queued requests not yet handed out (open batches excluded)."""
         return sum(len(q) for q in self._queues.values())
 
-    def next_batch(self) -> Batch | None:
+    def next_batch(self, keep_open: bool = False) -> Batch | None:
         """Pop one batch from the deployment whose turn it is.
 
         The ring advances even when a deployment still has backlog:
         after serving up to ``max_batch_size`` of its requests, the
         deployment moves to the back of the ring.
+
+        With ``keep_open=True`` an under-capacity batch is returned
+        *unsealed* and registered as its deployment's forming batch:
+        :meth:`submit` admits same-deployment arrivals into it until
+        the caller seals it (or it fills up).  The caller MUST
+        :meth:`seal` the batch before reading its membership for
+        dispatch.
         """
         while self._queues:
             deployment, queue = next(iter(self._queues.items()))
@@ -70,8 +109,25 @@ class RequestScheduler:
                 del self._queues[deployment]
             batch = Batch(self._batches, deployment, taken)
             self._batches += 1
+            if keep_open and len(batch) < self.max_batch_size:
+                # One forming batch per deployment: a second dispatcher
+                # popping the same deployment gets a sealed batch.
+                if deployment not in self._open:
+                    batch.sealed = False
+                    self._open[deployment] = batch
             return batch
         return None
+
+    def seal(self, batch: Batch) -> Batch:
+        """Close a forming batch: the continuous-batching cutoff.
+
+        Idempotent, and a no-op for batches that were never open.
+        """
+        if not batch.sealed:
+            batch.sealed = True
+            if self._open.get(batch.deployment) is batch:
+                del self._open[batch.deployment]
+        return batch
 
     def drain(self) -> list[Batch]:
         """All pending requests as a fair batch sequence."""

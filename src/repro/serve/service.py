@@ -27,6 +27,7 @@ from repro.serve.request import (
     InferenceRequest,
     InferenceResponse,
     make_input,
+    request_rng,
 )
 from repro.serve.scheduler import Batch, RequestScheduler
 from repro.serve.workers import WorkerPool
@@ -54,9 +55,11 @@ class InferenceService:
             max_resident_bundles=max_resident_bundles,
         )
         self.metrics = ServiceMetrics()
-        # One seeded generator for every input the service synthesises,
-        # so a whole service run is reproducible end to end.
-        self.rng = np.random.default_rng(input_seed)
+        # Inputs the service synthesises are drawn per request from
+        # request_rng(input_seed, request_id) — see that function for
+        # the determinism convention — so the tensor request i receives
+        # does not depend on batch interleaving or worker count.
+        self.input_seed = input_seed
         self._next_request_id = 0
 
     # ------------------------------------------------------------------
@@ -133,7 +136,9 @@ class InferenceService:
             image = request.input_image
             if image is None and batch.deployment.fidelity == "functional":
                 shape = bundle.loadable.input_tensor.shape
-                image = make_input(shape, self.rng)
+                image = make_input(
+                    shape, request_rng(self.input_seed, request.request_id)
+                )
             began = time.perf_counter()
             result = worker.run(bundle, input_image=image)
             wall = time.perf_counter() - began

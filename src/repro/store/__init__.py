@@ -31,6 +31,7 @@ from repro.store.serialize import (
 )
 from repro.store.store import (
     DEFAULT_STORE_DIR,
+    GC_GRACE_SECONDS,
     STORE_ENV_VAR,
     BundleStore,
     StoreEntry,
@@ -44,6 +45,7 @@ __all__ = [
     "BundleStore",
     "DEFAULT_STORE_DIR",
     "FORMAT_VERSION",
+    "GC_GRACE_SECONDS",
     "LOADABLE_KIND",
     "MAGIC",
     "SERIAL_VERSION",

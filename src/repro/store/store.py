@@ -56,6 +56,15 @@ LAYOUT_VERSION = 1
 STORE_ENV_VAR = "REPRO_STORE_DIR"
 DEFAULT_STORE_DIR = ".repro-store"
 
+#: How old (seconds since mtime) an *unreferenced* object or a writer's
+#: temp file must be before :meth:`BundleStore.gc` will sweep it.  A
+#: concurrent ``put`` publishes object-then-ref, so a just-written
+#: object can legitimately have no ref yet; sweeping it would leave the
+#: racing writer with a dangling ref.  Anything a put is mid-way
+#: through is seconds old at most; a minute of grace closes the race
+#: without keeping real garbage around.
+GC_GRACE_SECONDS = 60.0
+
 
 def key_digest(key: tuple) -> str:
     """Stable SHA-256 of a deployment key (str/int/float items only)."""
@@ -132,14 +141,18 @@ class BundleStore:
         root: str | os.PathLike,
         max_bytes: int | None = None,
         max_objects: int | None = None,
+        gc_grace_seconds: float = GC_GRACE_SECONDS,
     ) -> None:
         if max_bytes is not None and max_bytes <= 0:
             raise StoreError("max_bytes must be positive (or None for no cap)")
         if max_objects is not None and max_objects <= 0:
             raise StoreError("max_objects must be positive (or None for no cap)")
+        if gc_grace_seconds < 0:
+            raise StoreError("gc_grace_seconds must be non-negative")
         self.root = Path(root)
         self.max_bytes = max_bytes
         self.max_objects = max_objects
+        self.gc_grace_seconds = gc_grace_seconds
         self.stats = StoreStats()
         (self.root / "objects").mkdir(parents=True, exist_ok=True)
         (self.root / "refs").mkdir(parents=True, exist_ok=True)
@@ -412,19 +425,47 @@ class BundleStore:
             return
         self._object_path(digest).unlink(missing_ok=True)
 
-    def _sweep_turds(self) -> None:
+    def _past_grace(self, path: Path, grace_seconds: float) -> bool:
+        """True when ``path`` is old enough to be swept as garbage.
+
+        A vanished file (a racing writer just renamed or unlinked it)
+        is not ours to sweep either.
+        """
+        try:
+            age = time.time() - path.stat().st_mtime
+        except OSError:
+            return False
+        return age >= grace_seconds
+
+    def _sweep_turds(self, grace_seconds: float) -> None:
         for turd in self.root.glob("**/.tmp-*"):
-            turd.unlink(missing_ok=True)
+            if self._past_grace(turd, grace_seconds):
+                turd.unlink(missing_ok=True)
 
     def gc(
-        self, max_bytes: int | None = None, max_objects: int | None = None
+        self,
+        max_bytes: int | None = None,
+        max_objects: int | None = None,
+        grace_seconds: float | None = None,
     ) -> list[StoreEntry]:
         """Evict least-recently-used refs until under the caps.
 
         Also drops crashed writers' temp files and any object no ref
         points at.  Returns the evicted entries, oldest first.
+
+        The unreferenced-object sweep only removes objects (and temp
+        files) whose mtime is at least ``grace_seconds`` old (default:
+        the store's ``gc_grace_seconds``).  A concurrent ``put``
+        publishes its object *before* its ref, so a fresh ref-less
+        object is indistinguishable from a publish in flight — the
+        grace window keeps the sweep from deleting it under the writer
+        (``tests/store/test_concurrent.py`` pins the interleaving).
+        Cap-driven evictions are exempt: there this store just unlinked
+        the ref itself, so the object really is garbage.
         """
-        self._sweep_turds()
+        if grace_seconds is None:
+            grace_seconds = self.gc_grace_seconds
+        self._sweep_turds(grace_seconds)
         max_bytes = self.max_bytes if max_bytes is None else max_bytes
         max_objects = self.max_objects if max_objects is None else max_objects
         entries = self.ls()  # most recently used first
@@ -442,7 +483,9 @@ class BundleStore:
             self.stats.evictions += 1
         referenced = {entry.object_digest for entry in entries}
         for object_path in (self.root / "objects").glob("*/*"):
-            if object_path.name not in referenced:
+            if object_path.name not in referenced and self._past_grace(
+                object_path, grace_seconds
+            ):
                 object_path.unlink(missing_ok=True)
         return evicted
 

@@ -80,3 +80,90 @@ def test_arrival_order_is_assigned_on_submit():
 def test_bad_batch_size_rejected():
     with pytest.raises(ReproError):
         RequestScheduler(max_batch_size=0)
+
+
+# ----------------------------------------------------------------------
+# Continuous batching: the admit-into-forming-batch path.
+# ----------------------------------------------------------------------
+
+
+def test_keep_open_admits_same_deployment_arrivals():
+    scheduler = RequestScheduler(max_batch_size=8)
+    _submit(scheduler, LENET, 2)
+    batch = scheduler.next_batch(keep_open=True)
+    assert not batch.sealed and len(batch) == 2
+    # Same-deployment arrivals join the forming batch, skipping the queue.
+    _submit(scheduler, LENET, 2, start_id=10)
+    assert len(batch) == 4
+    assert scheduler.pending() == 0
+    assert scheduler.admitted_into_open == 2
+    # Other deployments still queue normally.
+    _submit(scheduler, RESNET, 1, start_id=20)
+    assert len(batch) == 4 and scheduler.pending() == 1
+
+
+def test_seal_is_the_admission_cutoff():
+    scheduler = RequestScheduler(max_batch_size=8)
+    _submit(scheduler, LENET, 1)
+    batch = scheduler.next_batch(keep_open=True)
+    scheduler.seal(batch)
+    assert batch.sealed
+    # Post-seal arrivals queue for the next batch; membership is final.
+    _submit(scheduler, LENET, 3, start_id=10)
+    assert len(batch) == 1 and scheduler.pending() == 3
+    scheduler.seal(batch)  # idempotent
+    assert len(scheduler.next_batch()) == 3
+
+
+def test_open_batch_auto_seals_at_capacity():
+    scheduler = RequestScheduler(max_batch_size=3)
+    _submit(scheduler, LENET, 1)
+    batch = scheduler.next_batch(keep_open=True)
+    _submit(scheduler, LENET, 3, start_id=10)
+    assert batch.sealed and len(batch) == 3
+    assert scheduler.pending() == 1  # the arrival after the cutoff
+
+
+def test_full_batch_is_never_kept_open():
+    scheduler = RequestScheduler(max_batch_size=2)
+    _submit(scheduler, LENET, 2)
+    batch = scheduler.next_batch(keep_open=True)
+    assert batch.sealed
+    _submit(scheduler, LENET, 1, start_id=10)
+    assert len(batch) == 2 and scheduler.pending() == 1
+
+
+def test_one_forming_batch_per_deployment():
+    scheduler = RequestScheduler(max_batch_size=8)
+    _submit(scheduler, LENET, 2)
+    first = scheduler.next_batch(keep_open=True)
+    _submit(scheduler, LENET, 2, start_id=10)
+    scheduler.seal(first)
+    _submit(scheduler, LENET, 2, start_id=20)
+    # A second open batch for the same deployment forms only after the
+    # first sealed.
+    second = scheduler.next_batch(keep_open=True)
+    assert not second.sealed
+    assert [r.request_id for r in second.requests] == [20, 21]
+
+
+def test_mid_drain_submissions_keep_fairness():
+    """Arrivals landing between next_batch calls (one dispatcher
+    draining while traffic keeps coming) neither starve a deployment
+    nor jump the round-robin ring."""
+    scheduler = RequestScheduler(max_batch_size=2)
+    _submit(scheduler, LENET, 4)
+    _submit(scheduler, RESNET, 2, start_id=100)
+    served = []
+    while (batch := scheduler.next_batch(keep_open=True)) is not None:
+        scheduler.seal(batch)
+        served.append(batch.deployment.model)
+        if len(served) == 1:
+            # Mid-drain burst for the already-backlogged deployment.
+            _submit(scheduler, LENET, 2, start_id=50)
+        if len(served) == 2:
+            _submit(scheduler, RESNET, 2, start_id=150)
+    # Both deployments keep alternating; the burst never locks out the
+    # other model.
+    assert served == ["lenet5", "resnet18", "lenet5", "resnet18", "lenet5"]
+    assert scheduler.pending() == 0

@@ -10,6 +10,7 @@ from repro.serve import (
     InferenceService,
     make_input_for,
     percentile,
+    shared_cache,
 )
 from repro.serve.metrics import LatencySummary
 
@@ -96,3 +97,24 @@ def test_metrics_percentiles_and_render():
     service.run_pending()
     text = service.metrics.render()
     assert "throughput" in text and "hit rate" in text and "p99" in text
+
+
+def test_synthesised_inputs_independent_of_batch_composition():
+    """The per-request seed convention: request i's synthesised input
+    depends only on (input_seed, request_id), so services draining the
+    same workload with different batch sizes — different interleavings
+    — return bit-identical outputs per request."""
+    workload = [DeploymentSpec("lenet5"), DeploymentSpec("lenet5"),
+                DeploymentSpec("lenet5"), DeploymentSpec("lenet5")]
+    by_batch_size = {}
+    for batch_size in (1, 4):
+        service = InferenceService(
+            cache=shared_cache(), max_batch_size=batch_size, input_seed=7
+        )
+        for deployment in workload:
+            service.request(deployment)
+        responses = sorted(service.run_pending(), key=lambda r: r.request_id)
+        by_batch_size[batch_size] = responses
+    for small, big in zip(by_batch_size[1], by_batch_size[4]):
+        assert np.array_equal(small.output, big.output)
+        assert small.cycles == big.cycles

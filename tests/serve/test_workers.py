@@ -137,3 +137,52 @@ def test_pool_round_robins_multiple_workers():
     assert pool.worker_for(spec) is second
     with pytest.raises(ReproError):
         WorkerPool(workers_per_key=0)
+
+
+def test_replay_keyed_by_digest_not_identity(lenet_bundle):
+    """An independent rebuild of the same deployment (equal artifact
+    digest, different object) still takes the replay fast path, and
+    stays bit-identical to a fresh SoC."""
+    from repro.nn.zoo import lenet5
+
+    rebuilt = generate_baremetal(lenet5(), NV_SMALL)
+    assert rebuilt is not lenet_bundle
+    assert rebuilt.artifact_digest() == lenet_bundle.artifact_digest()
+
+    worker = SocWorker(0, SPEC)
+    worker.run(lenet_bundle)
+    assert worker._is_replay(rebuilt)  # digest match, not identity
+    replayed = worker.run(rebuilt)
+    fresh = _fresh_run(rebuilt)
+    assert np.array_equal(replayed.output, fresh.output)
+    assert replayed.cycles == fresh.cycles
+
+
+def test_worker_does_not_pin_evicted_bundles(tiny_bundle):
+    """The worker's replay bookkeeping holds only a weakref + digest:
+    dropping the last strong reference frees the bundle even though the
+    worker just ran it."""
+    import gc
+    import weakref
+
+    from repro.nn.graph import Network
+    from repro.nn.layers import PoolKind
+
+    net = Network("tiny-serve-evict", seed=11)
+    data = net.add_input("data", (1, 8, 8))
+    conv = net.add_conv("conv1", data, num_output=4, kernel_size=3)
+    net.add_relu("relu1", conv)
+    net.validate()
+    bundle = generate_baremetal(net, NV_SMALL)
+
+    worker = SocWorker(0, SPEC)
+    worker.run(bundle)
+    tracker = weakref.ref(bundle)
+    del bundle
+    gc.collect()
+    assert tracker() is None  # the worker kept no strong reference
+    # The digest survives, so the worker still knows what DRAM holds —
+    # and a different bundle forces the full reload path.
+    assert worker._last_bundle() is None
+    assert not worker._is_replay(tiny_bundle)
+    assert worker.run(tiny_bundle).ok

@@ -112,3 +112,81 @@ def test_distinct_keys_race_without_interference(store, lenet_bundle, lenet_key)
         )
     ref_names = {path.stem for path in (store.root / "refs").glob("*.json")}
     assert ref_names == {key_digest(key) for key in keys}
+
+
+def test_gc_sweep_never_deletes_a_concurrent_puts_object(
+    store, lenet_bundle, lenet_key
+):
+    """gc racing a writer (object published, ref not yet linked) must
+    not sweep the writer's object out from under it.
+
+    The put primitive publishes object-then-ref; the sweep's mtime
+    grace window is what keeps the window between those two renames
+    safe.  A gc loop with grace runs against a put loop; every
+    completed put must remain fully readable."""
+    problems: list[str] = []
+    stop = threading.Event()
+
+    def collector() -> None:
+        while not stop.is_set():
+            # Default grace: fresh ref-less objects are publishes in
+            # flight and must survive.
+            store.gc(max_bytes=None, max_objects=None)
+
+    def writer() -> None:
+        try:
+            for seed in range(20):
+                key = lenet_key[:-1] + (seed,)
+                store.put_bundle(key, lenet_bundle)
+                loaded = store.get_bundle(key)
+                if loaded is None:
+                    problems.append(f"put {seed} vanished under gc")
+                    return
+        except Exception as exc:  # pragma: no cover - asserted below
+            problems.append(f"writer died: {type(exc).__name__}: {exc}")
+        finally:
+            stop.set()
+
+    threads = [threading.Thread(target=collector), threading.Thread(target=writer)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not problems
+    # Every ref still points at a live, verifiable object.
+    report = store.verify()
+    torn = [p for p in report.problems if "unreferenced" not in p[1]]
+    assert not torn, torn
+
+
+def test_gc_zero_grace_reproduces_the_put_race_window(
+    tmp_path, lenet_bundle, lenet_key
+):
+    """The interleaving the grace window exists for, played by hand:
+    object published, gc sweeps, ref lands — with grace 0 the ref
+    dangles; with the default grace the object survives."""
+    from repro.store import serialize_bundle, sha256_hex
+
+    blob = serialize_bundle(lenet_bundle)
+    digest = sha256_hex(blob)
+
+    def object_then_gc(store: BundleStore) -> bool:
+        # Step 1: the racing writer publishes its object...
+        path = store.root / "objects" / digest[:2] / digest
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(blob)
+        # Step 2: ...gc's unreferenced sweep runs before the writer
+        # gets to link its ref.
+        store.gc()
+        return path.exists()
+
+    # With no grace the sweep deletes the object mid-put — the writer's
+    # ref (step 3) would dangle, the bug this window closes.
+    racy = BundleStore(tmp_path / "racy", gc_grace_seconds=0.0)
+    assert not object_then_gc(racy)
+    # With the default grace the fresh object survives and the ref that
+    # lands afterwards resolves to a fully verified bundle.
+    safe = BundleStore(tmp_path / "safe")
+    assert object_then_gc(safe)
+    safe.put_bundle(lenet_key, lenet_bundle)
+    assert safe.get_bundle(lenet_key) is not None

@@ -94,17 +94,49 @@ def test_gc_evicts_least_recently_used_first(store, lenet_bundle, lenet_key):
     assert store.stats.evictions == 1
 
 
+def _backdate(path, seconds: float = 3600.0) -> None:
+    """Age a file past any gc grace window."""
+    stamp = path.stat().st_mtime - seconds
+    os.utime(path, (stamp, stamp))
+
+
 def test_gc_size_cap_and_orphan_sweep(store, lenet_bundle, lenet_key):
     store.put_bundle(lenet_key, lenet_bundle)
-    # Fabricate an orphan object and a crashed writer's temp file.
+    # Fabricate an old orphan object and a crashed writer's temp file.
     orphan = store.root / "objects" / "zz" / ("zz" * 32)
     orphan.parent.mkdir(parents=True, exist_ok=True)
     orphan.write_bytes(b"orphan")
+    _backdate(orphan)
     turd = store.root / "refs" / ".tmp-dead"
     turd.write_bytes(b"torn")
+    _backdate(turd)
     evicted = store.gc(max_bytes=1)  # cap below one artifact
     assert len(evicted) == 1 and len(store) == 0
     assert not orphan.exists() and not turd.exists()
+
+
+def test_gc_grace_spares_fresh_unreferenced_files(store, lenet_bundle, lenet_key):
+    """A just-written ref-less object (a put in flight publishes
+    object-then-ref) and a just-created temp file must survive the
+    sweep until the grace window has passed."""
+    fresh_orphan = store.root / "objects" / "zz" / ("zz" * 32)
+    fresh_orphan.parent.mkdir(parents=True, exist_ok=True)
+    fresh_orphan.write_bytes(b"publish in flight")
+    fresh_turd = store.root / "refs" / ".tmp-live-writer"
+    fresh_turd.write_bytes(b"half written")
+    assert store.gc() == []
+    assert fresh_orphan.exists() and fresh_turd.exists()
+    # Once aged past the window, the same sweep collects both...
+    _backdate(fresh_orphan)
+    _backdate(fresh_turd)
+    store.gc()
+    assert not fresh_orphan.exists() and not fresh_turd.exists()
+    # ...and cap-driven eviction never waits: the store unlinked the
+    # ref itself, so the object is garbage regardless of age.
+    store.put_bundle(lenet_key, lenet_bundle)
+    store.gc(max_objects=None, max_bytes=1)
+    assert len(store) == 0
+    assert not list((store.root / "objects").glob("*/*"))
 
 
 def test_capacity_enforced_on_put(tmp_path, lenet_bundle, lenet_key):
