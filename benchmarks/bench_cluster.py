@@ -318,13 +318,22 @@ def main(argv: list[str] | None = None) -> int:
             f"{point['store_stats']['hits']} store hit(s)"
         )
     if args.out:
-        payload = {
-            "sweep_seed": args.seed,
-            "bursty_seed": args.bursty_seed,
-            "sweep": sweep,
-            "autoscaler_bursty": bursty,
-            "store_warmup": store,
-        }
+        from repro.obs import bench_envelope
+
+        payload = bench_envelope(
+            "bench_cluster.fleet_sweep",
+            {
+                "smoke": args.smoke,
+                "sweep_seed": args.seed,
+                "bursty_seed": args.bursty_seed,
+                "policies": list(POLICIES),
+            },
+            {
+                "sweep": sweep,
+                "autoscaler_bursty": bursty,
+                "store_warmup": store,
+            },
+        )
         Path(args.out).write_text(json.dumps(payload, indent=2, sort_keys=True))
         print(f"\nmetrics written to {args.out}")
     return 0

@@ -417,9 +417,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.smoke:
-        result = run_process_scaling(process_counts=(1, 2), requests=16)
+        process_counts, requests = (1, 2), 16
     else:
-        result = run_process_scaling(process_counts=(1, 2, 4))
+        process_counts, requests = (1, 2, 4), 64
+    result = run_process_scaling(process_counts=process_counts, requests=requests)
     print(
         f"single-process service: {result['service_rps']:.1f} req/s "
         f"({result['cpu_count']} core(s))"
@@ -431,7 +432,20 @@ def main(argv: list[str] | None = None) -> int:
         )
     print("bit-identical to service: " + ("yes" if result["bit_identical"] else "NO"))
     if args.out:
-        Path(args.out).write_text(json.dumps(result, indent=2, sort_keys=True))
+        from repro.obs import bench_envelope
+
+        payload = bench_envelope(
+            "bench_serving.process_scaling",
+            {
+                "smoke": args.smoke,
+                "process_counts": list(process_counts),
+                "requests": requests,
+                "workload_seed": WORKLOAD_SEED,
+                "models": ["lenet5", "resnet18"],
+            },
+            result,
+        )
+        Path(args.out).write_text(json.dumps(payload, indent=2, sort_keys=True))
         print(f"metrics written to {args.out}")
     return 0 if result["bit_identical"] else 1
 

@@ -1,7 +1,16 @@
 """``python -m repro`` entry point."""
 
+import os
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # Downstream pager/head closed the pipe: exit quietly.  Point
+    # stdout at devnull first so the interpreter's shutdown flush
+    # doesn't raise the same error again.
+    devnull = os.open(os.devnull, os.O_WRONLY)
+    os.dup2(devnull, sys.stdout.fileno())
+    sys.exit(0)

@@ -262,16 +262,49 @@ def _arrival_gaps(args: argparse.Namespace, count: int) -> list[float] | None:
     return list(rng.exponential(1.0 / args.rps, size=count))
 
 
+def _serve_tracer(args: argparse.Namespace):
+    """An enabled tracer when --trace-out was given, else the null one."""
+    from repro.obs import NULL_TRACER, Tracer
+
+    if getattr(args, "trace_out", None):
+        return Tracer(enabled=True, process=-1)
+    return NULL_TRACER
+
+
+def _write_trace_out(args: argparse.Namespace, tracer) -> None:
+    """Flush collected spans to --trace-out (.jsonl or Perfetto .json)."""
+    if not tracer.enabled:
+        return
+    from repro.obs import write_trace
+
+    count = write_trace(args.trace_out, tracer.finished)
+    print(f"{count} spans written to {args.trace_out}")
+
+
+def _write_metrics_out(args: argparse.Namespace, registry) -> None:
+    """Dump a MetricsRegistry snapshot to --metrics-out as JSON."""
+    import json
+
+    if not getattr(args, "metrics_out", None):
+        return
+    Path(args.metrics_out).write_text(
+        json.dumps(registry.to_dict(), indent=2, sort_keys=True)
+    )
+    print(f"metrics written to {args.metrics_out}")
+
+
 def _cmd_serve_plane(args: argparse.Namespace, store) -> int:
     """`serve --processes N`: the process-parallel plane."""
     from repro.serve import BundleCache, ServingPlane
 
+    tracer = _serve_tracer(args)
     plane = ServingPlane(
         processes=args.processes,
         max_batch_size=args.batch_size,
         input_seed=args.seed,
         calibration=_serve_calibration(args),
         cache=BundleCache(store=store) if store is not None else None,
+        tracer=tracer,
     )
     workload = _build_workload(args)
     print(
@@ -284,6 +317,8 @@ def _cmd_serve_plane(args: argparse.Namespace, store) -> int:
         responses = plane.serve(requests, _arrival_gaps(args, len(requests)))
     failures = [r for r in responses if not r.ok]
     print(plane.metrics.render())
+    _write_trace_out(args, tracer)
+    _write_metrics_out(args, plane.metrics.registry)
     if failures:
         print(f"FAILED requests: {[r.request_id for r in failures]}")
     return 1 if failures else 0
@@ -303,12 +338,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # (and the shared in-process cache is bypassed so the store path is
     # actually exercised).
     store = _open_store(args)
+    tracer = _serve_tracer(args)
     service = InferenceService(
         cache=BundleCache(store=store) if store is not None else shared_cache(),
         max_batch_size=args.batch_size,
         workers_per_key=args.workers,
         input_seed=args.seed,
         calibration=_serve_calibration(args),
+        tracer=tracer,
     )
     workload = _build_workload(args)
     print(
@@ -320,6 +357,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     responses = service.run_pending()
     failures = [r for r in responses if not r.ok]
     print(service.metrics.render())
+    _write_trace_out(args, tracer)
+    _write_metrics_out(args, service.metrics.registry)
     if failures:
         print(f"FAILED requests: {[r.request_id for r in failures]}")
     return 1 if failures else 0
@@ -361,12 +400,14 @@ def _bench_serve_processes(args: argparse.Namespace) -> int:
     single_responses = sorted(service.run_pending(), key=lambda r: r.request_id)
     single_s = time.perf_counter() - began
 
+    tracer = _serve_tracer(args)
     plane = ServingPlane(
         processes=args.processes,
         max_batch_size=args.batch_size,
         input_seed=args.seed,
         calibration=calibration,
         cache=cache,
+        tracer=tracer,
     )
     with plane:
         plane.warm(unique)
@@ -395,6 +436,8 @@ def _bench_serve_processes(args: argparse.Namespace) -> int:
     )
     print()
     print(plane.metrics.render())
+    _write_trace_out(args, tracer)
+    _write_metrics_out(args, plane.metrics.registry)
     return 1 if mismatches else 0
 
 
@@ -436,12 +479,14 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
             workers_per_key=args.workers,
             input_seed=args.seed,
         )
+        tracer = _serve_tracer(args)
         fast_service = InferenceService(
             cache=cache,
             max_batch_size=args.batch_size,
             workers_per_key=args.workers,
             input_seed=args.seed,
             calibration=calibration,
+            tracer=tracer,
         )
         results = {}
         for label, service, mode in (
@@ -466,6 +511,8 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         print(f"speedup: {results['cycle-accurate'] / results['fast tier']:.1f}x")
         print()
         print(fast_service.metrics.render())
+        _write_trace_out(args, tracer)
+        _write_metrics_out(args, fast_service.metrics.registry)
         return 0
 
     began = time.perf_counter()
@@ -484,11 +531,13 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
             return 1
     cold = time.perf_counter() - began
 
+    tracer = _serve_tracer(args)
     service = InferenceService(
         cache=BundleCache(store=store) if store is not None else None,
         max_batch_size=args.batch_size,
         workers_per_key=args.workers,
         input_seed=args.seed,
+        tracer=tracer,
     )
     began = time.perf_counter()
     for deployment, image in workload:
@@ -504,6 +553,8 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     print(f"speedup: {cold / warm:.1f}x")
     print()
     print(service.metrics.render())
+    _write_trace_out(args, tracer)
+    _write_metrics_out(args, service.metrics.registry)
     return 0
 
 
@@ -572,6 +623,9 @@ def _cmd_bench_cluster(args: argparse.Namespace) -> int:
     from repro.serve import BundleCache
 
     cache = BundleCache(store=store) if store is not None else shared_cache()
+    # One tracer across policies: trace ids carry the policy prefix, so
+    # a multi-policy sweep exports into one comparable timeline.
+    tracer = _serve_tracer(args)
     summaries = {}
     for policy in policies:
         simulation = ClusterSimulation(
@@ -582,6 +636,7 @@ def _cmd_bench_cluster(args: argparse.Namespace) -> int:
             cache=cache,
             resident_capacity=args.resident_capacity,
             store=store,
+            tracer=tracer,
         )
         metrics = simulation.run(workload).metrics
         metrics.arrival_name = arrival_name
@@ -602,6 +657,62 @@ def _cmd_bench_cluster(args: argparse.Namespace) -> int:
         payload = {policy: metrics.to_dict() for policy, metrics in summaries.items()}
         Path(args.out).write_text(json.dumps(payload, indent=2, sort_keys=True))
         print(f"\nmetrics written to {args.out}")
+    _write_trace_out(args, tracer)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Inspect and convert span traces (JSONL and Perfetto JSON)."""
+    from repro.obs import build_trees, read_trace, render_summary, render_tree, write_trace
+
+    if args.action == "vp":
+        from repro.vp.trace_log import parse_trace
+
+        log = parse_trace(Path(args.infile).read_text())
+        spans = log.to_spans(frequency_hz=args.frequency_mhz * 1e6)
+        count = write_trace(args.out or "vp_trace.json", spans,
+                            process_names={0: "csb", 1: "dbb"})
+        print(f"{count} transactions written to {args.out or 'vp_trace.json'}")
+        return 0
+
+    spans = read_trace(args.infile)
+    if args.action == "export":
+        if not args.out:
+            raise SystemExit("trace export needs --out")
+        count = write_trace(args.out, spans)
+        print(f"{count} spans written to {args.out}")
+        return 0
+    if args.action == "summarize":
+        print(render_summary(spans))
+        return 0
+    assert args.action == "view"
+    trees = build_trees(spans)
+    shown = trees if args.limit is None else trees[: args.limit]
+    for tree in shown:
+        print(render_tree(tree))
+        print()
+    if len(shown) < len(trees):
+        print(f"... {len(trees) - len(shown)} more traces "
+              f"({len(spans)} spans total)")
+    orphans = sum(len(t.orphans) for t in trees)
+    return 1 if orphans else 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Render (and merge) MetricsRegistry JSON snapshots."""
+    import json
+
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    for path in args.inputs:
+        registry.merge_dict(json.loads(Path(path).read_text()))
+    print(registry.render())
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(registry.to_dict(), indent=2, sort_keys=True)
+        )
+        print(f"merged metrics written to {args.out}")
     return 0
 
 
@@ -806,6 +917,12 @@ def build_parser() -> argparse.ArgumentParser:
                                 "offering the whole workload at once")
         serve.add_argument("--rps", type=float, default=50.0,
                            help="arrival rate for --arrival constant/poisson")
+        serve.add_argument("--trace-out", default=None,
+                           help="write request spans here: .jsonl for the "
+                                "event log, .json for a Perfetto/Chrome "
+                                "trace (ui.perfetto.dev)")
+        serve.add_argument("--metrics-out", default=None,
+                           help="write the metrics-registry snapshot JSON here")
 
     cluster = sub.add_parser(
         "bench-cluster",
@@ -849,6 +966,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "by fetching from it instead of recompiling")
     cluster.add_argument("--out", default=None,
                          help="write per-policy metrics JSON to this path")
+    cluster.add_argument("--trace-out", default=None,
+                         help="write virtual-clock request spans here "
+                              "(.jsonl or Perfetto .json)")
 
     cal = sub.add_parser(
         "calibrate",
@@ -891,6 +1011,32 @@ def build_parser() -> argparse.ArgumentParser:
     store.add_argument("--max-objects", type=int, default=None,
                        help="gc: evict LRU artifacts beyond this count")
 
+    trace = sub.add_parser(
+        "trace",
+        help="inspect span traces: view trees, summarize, convert formats",
+    )
+    trace.add_argument("action", choices=["view", "summarize", "export", "vp"],
+                       help="view: span trees; summarize: per-span latency "
+                            "table; export: convert .jsonl <-> Perfetto "
+                            ".json; vp: convert a VP transaction log")
+    trace.add_argument("--in", dest="infile", required=True,
+                       help="input trace (.jsonl, .json, or VP text log)")
+    trace.add_argument("--out", default=None,
+                       help="output path for export/vp (.jsonl or .json)")
+    trace.add_argument("--limit", type=int, default=None,
+                       help="view: show at most this many traces")
+    trace.add_argument("--frequency-mhz", type=float, default=100.0,
+                       help="vp: clock for cycle->seconds conversion")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="render and merge metrics-registry JSON snapshots",
+    )
+    metrics.add_argument("inputs", nargs="+",
+                         help="registry snapshot JSON files (--metrics-out)")
+    metrics.add_argument("--out", default=None,
+                         help="write the merged registry snapshot here")
+
     sanity = sub.add_parser("sanity", help="run the NVDLA sanity test traces")
     sanity.add_argument("--trace", default=None)
     sanity.add_argument("--config", default="nv_small", choices=sorted(CONFIGS))
@@ -925,6 +1071,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_store(args)
     if args.command == "calibrate":
         return _cmd_calibrate(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     if args.command == "sanity":
         return _cmd_sanity(args)
     if args.command == "report":

@@ -48,6 +48,7 @@ from repro.core.calibration import CalibrationTable
 from repro.core.fastpath import FastPathExecutor
 from repro.errors import ReproError
 from repro.nvdla.config import get_config
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.serve.cache import BundleCache
 from repro.serve.metrics import LatencySummary, percentile
 from repro.serve.request import DeploymentSpec
@@ -309,10 +310,12 @@ class ClusterSimulation:
         execute: bool = False,
         input_seed: int = 7,
         store: "BundleStore | None" = None,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         if replicas <= 0:
             raise ReproError("fleet needs at least one replica")
         self.router = router
+        self.tracer = tracer
         self.initial_replicas = replicas
         self.slo = slo or (admission.policy if admission else SloPolicy())
         self.admission = admission
@@ -514,9 +517,11 @@ class ClusterSimulation:
                 decision = self.admission.admit(request, live, now, cost.run_seconds)
                 if not decision.admitted:
                     metrics.reject(now, decision.reason)
+                    self._trace_rejection(request, now, decision.reason)
                     continue
             elif not live:
                 metrics.reject(now, "no_replicas")
+                self._trace_rejection(request, now, "no_replicas")
                 continue
             replica = self.router.route(request, live, now)
             acquisition = self._acquisition_seconds(replica, request.deployment, cost)
@@ -528,7 +533,7 @@ class ClusterSimulation:
                 + (0.0 if warm else cost.warmup_seconds)
                 + acquisition
             )
-            _, completion = replica.assign(now, service_seconds)
+            started, completion = replica.assign(now, service_seconds)
             latency = completion - now
             window.append((now, latency, service_seconds))
             ok = True
@@ -537,6 +542,11 @@ class ClusterSimulation:
                 responses[request.request_id] = response
                 ok = response.ok
             metrics.complete(now, latency, warm, ok=ok)
+            if self.tracer.enabled:
+                self._trace_request(
+                    request, replica.replica_id, now, started, completion,
+                    cost, acquisition, warm, ok,
+                )
 
         metrics.replica_usage = [replica.usage() for replica in fleet]
         metrics.peak_replicas = max(metrics.peak_replicas, len(self._live(fleet)))
@@ -552,6 +562,52 @@ class ClusterSimulation:
         service.request(request.deployment, request.input_image)
         batch = service.run_pending()
         return batch[-1]
+
+    # ------------------------------------------------------------------
+    # Virtual-clock tracing: the simulated timeline in the same span
+    # format (and exporters) as the live serving plane — one Perfetto
+    # lane per replica.
+    # ------------------------------------------------------------------
+
+    def _trace_rejection(self, request: TimedRequest, now: float,
+                         reason: str) -> None:
+        if not self.tracer.enabled:
+            return
+        self.tracer.add(
+            "request", now, now,
+            trace_id=f"{self.router.name}:req-{request.request_id}",
+            process=-1,
+            request_id=request.request_id,
+            deployment=request.deployment.describe(),
+            rejected=reason,
+        )
+
+    def _trace_request(
+        self, request: TimedRequest, replica_id: int, now: float,
+        started: float, completion: float, cost: "RequestCost",
+        acquisition: float, warm: bool, ok: bool,
+    ) -> None:
+        trace_id = f"{self.router.name}:req-{request.request_id}"
+        root = self.tracer.add(
+            "request", now, completion, trace_id=trace_id, process=replica_id,
+            request_id=request.request_id,
+            deployment=request.deployment.describe(),
+            replica=replica_id, warm=warm, ok=ok,
+        )
+        if started > now:
+            self.tracer.add("queue.wait", now, started, parent=root,
+                            process=replica_id)
+        at = started
+        if acquisition > 0:
+            self.tracer.add("acquire", at, at + acquisition, parent=root,
+                            process=replica_id)
+            at += acquisition
+        if not warm:
+            self.tracer.add("warmup", at, at + cost.warmup_seconds,
+                            parent=root, process=replica_id)
+            at += cost.warmup_seconds
+        self.tracer.add("run", at, completion, parent=root,
+                        process=replica_id, run_seconds=cost.run_seconds)
 
 
 def fleet_latency_summary(results: list[ClusterResult]) -> LatencySummary:

@@ -91,6 +91,10 @@ class FastPathRunRequest:
     bundle_key: tuple | None = None
     input_image: np.ndarray | None = None
     input_seed: tuple[int, int] | None = None  # (service seed, request id)
+    # Tracing context (trace_id, parent span_id) from Tracer.context():
+    # the worker process parents its spans under the plane's request
+    # span so the trace stitches across the process boundary.
+    trace_ctx: tuple[str, str] | None = None
 
 
 @dataclass(frozen=True)
@@ -104,6 +108,9 @@ class FastPathRunResult:
     sim_seconds: float
     wall_seconds: float  # host time inside the worker's run()
     worker_id: int = 0  # in-process worker id within its process
+    # Finished span dicts recorded in the worker process for this
+    # request (empty when tracing is off); the plane ingests them.
+    spans: tuple = ()
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,50 @@
+"""repro.obs — unified tracing + metrics spine.
+
+Structured span tracing (wall-clock and virtual-clock, with
+cross-process stitching), a mergeable metrics registry, shared latency
+statistics, and exporters for JSONL / Chrome trace-event (Perfetto)
+formats.  See the README "Observability" section for the span taxonomy
+and capture workflow.
+"""
+
+from .envelope import SCHEMA_VERSION, bench_envelope
+from .export import (
+    build_trees,
+    read_jsonl,
+    read_trace,
+    render_summary,
+    render_tree,
+    summarize,
+    to_chrome_trace,
+    write_jsonl,
+    write_trace,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, log_bucket_bounds
+from .stats import LatencySummary, percentile
+from .trace import NULL_SPAN, NULL_TRACER, Span, Tracer, record_unit_spans
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LatencySummary",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "SCHEMA_VERSION",
+    "Span",
+    "Tracer",
+    "bench_envelope",
+    "build_trees",
+    "log_bucket_bounds",
+    "percentile",
+    "read_jsonl",
+    "read_trace",
+    "record_unit_spans",
+    "render_summary",
+    "render_tree",
+    "summarize",
+    "to_chrome_trace",
+    "write_jsonl",
+    "write_trace",
+]

@@ -1,0 +1,32 @@
+"""Self-describing benchmark artifacts.
+
+Every metrics JSON a benchmark script publishes (``BENCH_serving.json``,
+the CI smoke artifacts) is wrapped in one envelope so a reader six
+months later can tell *what* produced the numbers without spelunking
+git history: a schema version, the benchmark's name, an ISO-8601 UTC
+timestamp, and the run configuration (seeds, request counts, process
+counts) that makes the run reproducible.
+
+The results payload sits under ``"results"`` untouched, so consumers
+that only care about the numbers read ``payload["results"]`` and ignore
+the provenance.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+
+#: Bumped when the envelope's own keys change shape (not when a
+#: benchmark's results payload does — that is the benchmark's contract).
+SCHEMA_VERSION = 1
+
+
+def bench_envelope(benchmark: str, run_config: dict, results) -> dict:
+    """Wrap a benchmark's results in the provenance envelope."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "run_config": dict(run_config),
+        "results": results,
+    }

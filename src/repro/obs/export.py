@@ -1,0 +1,249 @@
+"""Span export: JSONL event logs, Chrome trace-event JSON, summaries.
+
+Two on-disk formats, chosen by extension in :func:`write_trace`:
+
+- ``*.jsonl`` — one span dict per line (the :meth:`Span.to_dict`
+  shape).  Lossless, order-free, append-friendly; the format
+  ``repro trace view/summarize`` reads back.
+- ``*.json`` — Chrome trace-event JSON (``{"traceEvents": [...]}``),
+  loadable in ``ui.perfetto.dev`` / ``chrome://tracing``.  Timestamps
+  are rebased to the earliest span so Perfetto's timeline starts at 0;
+  each span's ``process`` becomes the pid lane and its trace_id the
+  tid lane, which groups one request's tree onto one track.
+
+Tree reconstruction (:func:`build_trees`) is deliberately tolerant of
+out-of-order streams: spans arrive as workers drain them, so children
+routinely precede parents in the file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .stats import LatencySummary
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+
+
+def write_jsonl(path, spans) -> int:
+    """Write span dicts one-per-line; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for span in spans:
+            fh.write(json.dumps(span, sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path) -> list[dict]:
+    spans = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event / Perfetto
+# ----------------------------------------------------------------------
+
+
+def to_chrome_trace(spans, process_names: dict[int, str] | None = None) -> dict:
+    """Span dicts → Chrome trace-event JSON object.
+
+    Emits complete ("X") events with microsecond timestamps rebased to
+    the earliest span start.  pid = recording process slot, tid = the
+    span's trace_id (one request tree per track); parent/span ids and
+    every attr ride in ``args`` so nothing is lost in the conversion.
+    """
+    spans = [s for s in spans if s.get("end_s") is not None]
+    if not spans:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+    base = min(s["start_s"] for s in spans)
+    tids: dict[tuple[int, str], int] = {}
+    events = []
+    for span in spans:
+        pid = span.get("process", 0)
+        key = (pid, span.get("trace_id", ""))
+        tid = tids.setdefault(key, len([k for k in tids if k[0] == pid]))
+        args = {"trace_id": span.get("trace_id", ""),
+                "span_id": span.get("span_id", ""),
+                "parent_id": span.get("parent_id")}
+        args.update(span.get("attrs", {}))
+        events.append({
+            "name": span["name"],
+            "ph": "X",
+            "ts": (span["start_s"] - base) * 1e6,
+            "dur": max(0.0, (span["end_s"] - span["start_s"]) * 1e6),
+            "pid": pid,
+            "tid": tid,
+            "cat": span.get("trace_id", "") or "span",
+            "args": args,
+        })
+    names = process_names or {}
+    pids = sorted({e["pid"] for e in events})
+    meta = [{"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+             "args": {"name": names.get(pid, _default_process_name(pid))}}
+            for pid in pids]
+    # thread_name metadata labels each request-tree track with its trace_id
+    meta += [{"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+              "args": {"name": trace_id or "untraced"}}
+             for (pid, trace_id), tid in sorted(tids.items(),
+                                                key=lambda kv: (kv[0][0], kv[1]))]
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def _default_process_name(pid: int) -> str:
+    if pid == -1:
+        return "plane"
+    return f"worker-{pid}"
+
+
+def write_trace(path, spans, process_names: dict[int, str] | None = None) -> int:
+    """Write spans to ``path``; ``.jsonl`` → JSONL, anything else →
+    Chrome trace-event JSON.  Returns the span count written."""
+    path = str(path)
+    spans = list(spans)
+    if path.endswith(".jsonl"):
+        return write_jsonl(path, spans)
+    payload = to_chrome_trace(spans, process_names=process_names)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    return len(spans)
+
+
+def read_trace(path) -> list[dict]:
+    """Read spans back from either on-disk format."""
+    path = str(path)
+    if path.endswith(".jsonl"):
+        return read_jsonl(path)
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    spans = []
+    for event in payload.get("traceEvents", []):
+        if event.get("ph") != "X":
+            continue
+        args = dict(event.get("args", {}))
+        spans.append({
+            "name": event["name"],
+            "trace_id": args.pop("trace_id", ""),
+            "span_id": args.pop("span_id", ""),
+            "parent_id": args.pop("parent_id", None),
+            "start_s": event["ts"] / 1e6,
+            "end_s": (event["ts"] + event.get("dur", 0.0)) / 1e6,
+            "process": event.get("pid", 0),
+            "attrs": args,
+        })
+    return spans
+
+
+# ----------------------------------------------------------------------
+# Tree reconstruction + summaries
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SpanNode:
+    span: dict
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.span["name"]
+
+    def walk(self, depth: int = 0):
+        yield depth, self
+        for child in sorted(self.children, key=lambda n: n.span["start_s"]):
+            yield from child.walk(depth + 1)
+
+
+@dataclass
+class TraceTree:
+    trace_id: str
+    roots: list[SpanNode]
+    orphans: list[dict]  # parent_id set but never seen — a stitching bug
+
+    @property
+    def span_count(self) -> int:
+        return sum(1 for root in self.roots for _ in root.walk()) + len(self.orphans)
+
+
+def build_trees(spans) -> list[TraceTree]:
+    """Group spans by trace_id and link parents, order-independent.
+
+    A span whose ``parent_id`` is missing from its trace lands in
+    ``orphans`` — the cross-process acceptance gate asserts that list
+    is empty for every request.
+    """
+    by_trace: dict[str, list[dict]] = {}
+    for span in spans:
+        by_trace.setdefault(span.get("trace_id", ""), []).append(span)
+    trees = []
+    for trace_id in sorted(by_trace):
+        members = by_trace[trace_id]
+        nodes = {s["span_id"]: SpanNode(s) for s in members}
+        roots, orphans = [], []
+        for span in members:
+            parent_id = span.get("parent_id")
+            if parent_id is None:
+                roots.append(nodes[span["span_id"]])
+            elif parent_id in nodes:
+                nodes[parent_id].children.append(nodes[span["span_id"]])
+            else:
+                orphans.append(span)
+        roots.sort(key=lambda n: n.span["start_s"])
+        trees.append(TraceTree(trace_id=trace_id, roots=roots, orphans=orphans))
+    return trees
+
+
+def render_tree(tree: TraceTree) -> str:
+    """Indentation view of one trace for ``repro trace view``."""
+    lines = [f"trace {tree.trace_id or '(untraced)'}"]
+    for root in tree.roots:
+        for depth, node in root.walk():
+            span = node.span
+            dur_ms = (span["end_s"] - span["start_s"]) * 1e3
+            extras = []
+            if "cycles" in span.get("attrs", {}):
+                extras.append(f"cycles={span['attrs']['cycles']}")
+            if "source" in span.get("attrs", {}):
+                extras.append(f"source={span['attrs']['source']}")
+            suffix = f"  [{' '.join(extras)}]" if extras else ""
+            lines.append(f"  {'  ' * depth}{span['name']:<24s} "
+                         f"{dur_ms:9.3f} ms  p{span.get('process', 0)}{suffix}")
+    for orphan in tree.orphans:
+        lines.append(f"  ORPHAN {orphan['name']} "
+                     f"(parent {orphan.get('parent_id')!r} not found)")
+    return "\n".join(lines)
+
+
+def summarize(spans) -> dict:
+    """Per-span-name latency summary across a whole trace file."""
+    by_name: dict[str, list[float]] = {}
+    for span in spans:
+        if span.get("end_s") is None:
+            continue
+        by_name.setdefault(span["name"], []).append(
+            span["end_s"] - span["start_s"])
+    return {name: LatencySummary.of(samples).to_dict()
+            for name, samples in sorted(by_name.items())}
+
+
+def render_summary(spans) -> str:
+    trees = build_trees(spans)
+    orphan_count = sum(len(t.orphans) for t in trees)
+    lines = [f"{len(spans)} spans, {len(trees)} traces, {orphan_count} orphans",
+             f"{'span':<26s} {'count':>6s} {'mean ms':>9s} "
+             f"{'p50 ms':>9s} {'p99 ms':>9s} {'max ms':>9s}"]
+    for name, stats in summarize(spans).items():
+        lines.append(
+            f"{name:<26s} {stats['count']:>6d} {stats['mean'] * 1e3:>9.3f} "
+            f"{stats['p50'] * 1e3:>9.3f} {stats['p99'] * 1e3:>9.3f} "
+            f"{stats['max'] * 1e3:>9.3f}")
+    return "\n".join(lines)

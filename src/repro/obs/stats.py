@@ -1,0 +1,57 @@
+"""Shared latency statistics: nearest-rank percentiles and summaries.
+
+The one implementation every layer reports through: the serve layer's
+``ServiceMetrics``, the fleet simulation's ``ClusterMetrics`` and the
+trace summarizer all import from here (``repro.serve.metrics`` and the
+cluster modules re-export for backward compatibility).  Keeping a
+single copy is what makes a "p99" comparable across layers — the
+nearest-rank definition below is pinned by property tests against an
+independent reference implementation (``tests/obs/test_stats.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]); 0.0 for no samples."""
+    if not samples:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile {q} out of range")
+    ordered = sorted(samples)
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil(n*q/100), >= 1
+    return ordered[int(rank) - 1]
+
+
+@dataclass
+class LatencySummary:
+    """p50/p99/mean/max over one series of samples."""
+
+    count: int
+    mean: float
+    p50: float
+    p99: float
+    max: float
+
+    @classmethod
+    def of(cls, samples: list[float]) -> "LatencySummary":
+        if not samples:
+            return cls(count=0, mean=0.0, p50=0.0, p99=0.0, max=0.0)
+        return cls(
+            count=len(samples),
+            mean=sum(samples) / len(samples),
+            p50=percentile(samples, 50),
+            p99=percentile(samples, 99),
+            max=max(samples),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p99": self.p99,
+            "max": self.max,
+        }

@@ -4,54 +4,28 @@ Latency is tracked on both timescales: *wall* seconds (host time to
 serve a request, the number the cache is trying to shrink) and
 *simulated* cycles (what the modelled SoC would take, the number the
 paper reports).
+
+Counters live in a :class:`repro.obs.metrics.MetricsRegistry`
+(``metrics.registry``) so they merge across processes and export
+through ``repro metrics``; the attribute surface below
+(``metrics.requests += 1`` etc.) is a facade over registry counters
+and is unchanged from the pre-registry dataclass, as is the
+:meth:`ServiceMetrics.to_dict` snapshot shape.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.stats import LatencySummary, percentile
 
-def percentile(samples: list[float], q: float) -> float:
-    """Nearest-rank percentile (q in [0, 100]); 0.0 for no samples."""
-    if not samples:
-        return 0.0
-    if not 0 <= q <= 100:
-        raise ValueError(f"percentile {q} out of range")
-    ordered = sorted(samples)
-    rank = max(1, -(-len(ordered) * q // 100))  # ceil(n*q/100), >= 1
-    return ordered[int(rank) - 1]
-
-
-@dataclass
-class LatencySummary:
-    """p50/p99/mean/max over one series of samples."""
-
-    count: int
-    mean: float
-    p50: float
-    p99: float
-    max: float
-
-    @classmethod
-    def of(cls, samples: list[float]) -> "LatencySummary":
-        if not samples:
-            return cls(count=0, mean=0.0, p50=0.0, p99=0.0, max=0.0)
-        return cls(
-            count=len(samples),
-            mean=sum(samples) / len(samples),
-            p50=percentile(samples, 50),
-            p99=percentile(samples, 99),
-            max=max(samples),
-        )
-
-    def to_dict(self) -> dict:
-        return {
-            "count": self.count,
-            "mean": self.mean,
-            "p50": self.p50,
-            "p99": self.p99,
-            "max": self.max,
-        }
+__all__ = [
+    "DeploymentMetrics",
+    "LatencySummary",
+    "ServiceMetrics",
+    "percentile",
+]
 
 
 @dataclass
@@ -86,28 +60,90 @@ class DeploymentMetrics:
         }
 
 
-@dataclass
+def _int_counter(metric: str, doc: str | None = None) -> property:
+    """Registry-backed int attribute: ``metrics.requests += 1`` works."""
+
+    def fget(self) -> int:
+        return int(self.registry.counter(metric).value)
+
+    def fset(self, value) -> None:
+        self.registry.counter(metric).value = int(value)
+
+    return property(fget, fset, doc=doc)
+
+
+def _float_counter(metric: str, doc: str | None = None) -> property:
+    def fget(self) -> float:
+        return self.registry.counter(metric).value
+
+    def fset(self, value) -> None:
+        self.registry.counter(metric).value = float(value)
+
+    return property(fget, fset, doc=doc)
+
+
 class ServiceMetrics:
     """Counters accumulated across a service lifetime."""
 
-    requests: int = 0
-    failures: int = 0
-    batches: int = 0
-    bundle_hits: int = 0  # served from the in-memory cache
-    bundle_misses: int = 0  # = bundle_store_hits + bundle_compiles
-    bundle_store_hits: int = 0  # misses satisfied by the persistent store
-    bundle_compiles: int = 0  # misses that paid the full offline flow
-    workers_created: int = 0
-    workers_reused: int = 0
-    wall_seconds_total: float = 0.0  # busy time inside workers
-    elapsed_seconds: float = 0.0  # end-to-end serve() time
-    wall_latencies: list[float] = field(default_factory=list)
-    cycle_latencies: list[float] = field(default_factory=list)
-    per_deployment: dict[str, DeploymentMetrics] = field(default_factory=dict)
-    # Worker-process slot → its counters (runs, busy_seconds, batches,
-    # restarts), aggregated by the serving plane after each drain.  The
-    # single-process service leaves this empty.
-    per_process: dict[int, dict] = field(default_factory=dict)
+    requests = _int_counter("serve.requests")
+    failures = _int_counter("serve.failures")
+    batches = _int_counter("serve.batches")
+    # served from the in-memory cache
+    bundle_hits = _int_counter("serve.bundle.hits")
+    # = bundle_store_hits + bundle_compiles
+    bundle_misses = _int_counter("serve.bundle.misses")
+    # misses satisfied by the persistent store
+    bundle_store_hits = _int_counter("serve.bundle.store_hits")
+    # misses that paid the full offline flow
+    bundle_compiles = _int_counter("serve.bundle.compiles")
+    workers_created = _int_counter("serve.workers.created")
+    workers_reused = _int_counter("serve.workers.reused")
+    # busy time inside workers
+    wall_seconds_total = _float_counter("serve.busy.seconds")
+    # end-to-end serve() time
+    elapsed_seconds = _float_counter("serve.elapsed.seconds")
+
+    def __init__(
+        self,
+        requests: int = 0,
+        failures: int = 0,
+        batches: int = 0,
+        bundle_hits: int = 0,
+        bundle_misses: int = 0,
+        bundle_store_hits: int = 0,
+        bundle_compiles: int = 0,
+        workers_created: int = 0,
+        workers_reused: int = 0,
+        wall_seconds_total: float = 0.0,
+        elapsed_seconds: float = 0.0,
+        wall_latencies: list[float] | None = None,
+        cycle_latencies: list[float] | None = None,
+        per_deployment: dict[str, DeploymentMetrics] | None = None,
+        per_process: dict[int, dict] | None = None,
+        registry: MetricsRegistry | None = None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.requests = requests
+        self.failures = failures
+        self.batches = batches
+        self.bundle_hits = bundle_hits
+        self.bundle_misses = bundle_misses
+        self.bundle_store_hits = bundle_store_hits
+        self.bundle_compiles = bundle_compiles
+        self.workers_created = workers_created
+        self.workers_reused = workers_reused
+        self.wall_seconds_total = wall_seconds_total
+        self.elapsed_seconds = elapsed_seconds
+        # Exact samples kept alongside the registry histograms: the
+        # summaries below report true nearest-rank percentiles, the
+        # histograms are what merges across processes.
+        self.wall_latencies = wall_latencies if wall_latencies is not None else []
+        self.cycle_latencies = cycle_latencies if cycle_latencies is not None else []
+        self.per_deployment = per_deployment if per_deployment is not None else {}
+        # Worker-process slot → its counters (runs, busy_seconds,
+        # batches, restarts), aggregated by the serving plane after each
+        # drain.  The single-process service leaves this empty.
+        self.per_process = per_process if per_process is not None else {}
 
     def record(
         self, wall_seconds: float, cycles: int, ok: bool, deployment: str | None = None
@@ -118,6 +154,8 @@ class ServiceMetrics:
         self.wall_latencies.append(wall_seconds)
         self.cycle_latencies.append(float(cycles))
         self.wall_seconds_total += wall_seconds
+        self.registry.histogram("serve.request.wall.seconds").observe(wall_seconds)
+        self.registry.histogram("serve.request.cycles").observe(float(cycles))
         if deployment is not None:
             slice_ = self.per_deployment.setdefault(deployment, DeploymentMetrics())
             slice_.requests += 1

@@ -40,6 +40,7 @@ from repro.baremetal.pipeline import bundle_cache_key
 from repro.core.calibration import CalibrationTable
 from repro.core.fastpath import FastPathRunRequest, FastPathRunResult
 from repro.errors import ReproError
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.serve.cache import BundleCache
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.procpool import ProcessWorkerPool
@@ -62,6 +63,7 @@ class ServingPlane:
         admission_window_s: float = 0.0,
         max_resident_bundles: int | None = None,
         batch_timeout_s: float | None = None,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         if admission_window_s < 0:
             raise ReproError("admission window must be >= 0")
@@ -69,6 +71,11 @@ class ServingPlane:
         self.admission_window_s = admission_window_s
         self.scheduler = RequestScheduler(max_batch_size=max_batch_size)
         self.metrics = ServiceMetrics()
+        self.tracer = tracer
+        # Open per-request spans, keyed by request id: root covers
+        # submit → response, queue covers submit → batch seal.
+        self._root_spans: dict[int, object] = {}
+        self._queue_spans: dict[int, object] = {}
         # The plane *requires* a persistent store — it is the bundle
         # transport to the worker processes.  Wire one up from, in
         # order: the caller's cache, an explicit root, a private
@@ -88,6 +95,7 @@ class ServingPlane:
             calibration=calibration,
             max_resident_bundles=max_resident_bundles,
             batch_timeout_s=batch_timeout_s,
+            trace_enabled=tracer.enabled,
         )
         self._published: set[DeploymentSpec] = set()
         self._first_miss: set[DeploymentSpec] = set()
@@ -165,6 +173,11 @@ class ServingPlane:
     def _run_request(self, request: InferenceRequest) -> FastPathRunRequest:
         """The picklable wire form: inputs by seed, bundles by key."""
         spec = request.deployment
+        trace_ctx = None
+        if self.tracer.enabled:
+            root = self._root_spans.get(request.request_id)
+            if root is not None:
+                trace_ctx = Tracer.context(root)
         return FastPathRunRequest(
             request_id=request.request_id,
             model=spec.model,
@@ -179,6 +192,7 @@ class ServingPlane:
             ),
             input_image=request.input_image,
             input_seed=(self.input_seed, request.request_id),
+            trace_ctx=trace_ctx,
         )
 
     def _response(
@@ -195,6 +209,12 @@ class ServingPlane:
             result.ok,
             deployment=deployment.describe(),
         )
+        if self.tracer.enabled:
+            self.tracer.ingest(result.spans)
+            root = self._root_spans.pop(request.request_id, None)
+            if root is not None:
+                self.tracer.end(root, ok=result.ok, cycles=result.cycles,
+                                process=slot, batch_id=batch.batch_id)
         return InferenceResponse(
             request_id=request.request_id,
             deployment=deployment,
@@ -258,6 +278,12 @@ class ServingPlane:
                     if self.admission_window_s > 0:
                         await asyncio.sleep(self.admission_window_s)
                     self.scheduler.seal(batch)
+                if self.tracer.enabled:
+                    for request in batch.requests:
+                        queued = self._queue_spans.pop(request.request_id, None)
+                        if queued is not None:
+                            self.tracer.end(queued, batch_id=batch.batch_id,
+                                            batch_size=len(batch.requests))
                 runs = [self._run_request(r) for r in batch.requests]
                 results = await loop.run_in_executor(
                     executor, self.pool.run_batch, handle, runs
@@ -265,6 +291,8 @@ class ServingPlane:
             except Exception as exc:
                 self.scheduler.seal(batch)
                 for request in batch.requests:
+                    self._root_spans.pop(request.request_id, None)
+                    self._queue_spans.pop(request.request_id, None)
                     future = futures[request.request_id]
                     if not future.done():
                         future.set_exception(exc)
@@ -287,6 +315,16 @@ class ServingPlane:
                     await asyncio.sleep(gaps[index])
                 self._publish(request.deployment)
                 futures[request.request_id] = loop.create_future()
+                if self.tracer.enabled:
+                    root = self.tracer.start(
+                        "request", trace_id=f"req-{request.request_id}",
+                        request_id=request.request_id,
+                        deployment=request.deployment.describe(),
+                    )
+                    self._root_spans[request.request_id] = root
+                    self._queue_spans[request.request_id] = self.tracer.start(
+                        "queue", parent=root
+                    )
                 self.scheduler.submit(request)
                 pump()
             pump()

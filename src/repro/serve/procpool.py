@@ -34,6 +34,7 @@ from pathlib import Path
 from repro.core.calibration import CalibrationTable
 from repro.core.fastpath import FastPathRunRequest, FastPathRunResult
 from repro.errors import ReproError
+from repro.obs.trace import NULL_TRACER, Tracer, classify_resolution, record_unit_spans
 
 _SPAWN = multiprocessing.get_context("spawn")
 
@@ -47,11 +48,24 @@ class WorkerProcessDied(ReproError):
 # ----------------------------------------------------------------------
 
 
-def _serve_request(cache, pool, request: FastPathRunRequest) -> FastPathRunResult:
+def _serve_request(
+    cache, pool, request: FastPathRunRequest, tracer: Tracer = NULL_TRACER
+) -> FastPathRunResult:
     """One inference inside the worker process."""
     from repro.baremetal.pipeline import bundle_cache_key
     from repro.nvdla.config import Precision
     from repro.serve.request import DeploymentSpec, make_input, request_rng
+
+    # Parent this process's spans under the plane's request span: the
+    # shipped (trace_id, span_id) is all the context stitching needs.
+    if tracer.enabled and request.trace_ctx is not None:
+        trace_id, parent_id = request.trace_ctx
+        serve_span = tracer.start(
+            "worker.serve", trace_id=trace_id, parent=parent_id,
+            request_id=request.request_id, model=request.model,
+        )
+    else:
+        serve_span = tracer.start("worker.serve", request_id=request.request_id)
 
     spec = DeploymentSpec(
         request.model,
@@ -73,6 +87,8 @@ def _serve_request(cache, pool, request: FastPathRunRequest) -> FastPathRunResul
                 f"{request.bundle_key!r} does not name this deployment "
                 f"(expected {expected!r})"
             )
+    stats_before = cache.stats.to_dict() if tracer.enabled else None
+    resolve_span = tracer.start("bundle.resolve", parent=serve_span)
     bundle = cache.bundle_for(
         spec.model,
         spec.config,
@@ -80,6 +96,11 @@ def _serve_request(cache, pool, request: FastPathRunRequest) -> FastPathRunResul
         fidelity=spec.fidelity,
         seed=request.flow_seed,
     )
+    if tracer.enabled:
+        tracer.end(
+            resolve_span,
+            source=classify_resolution(stats_before, cache.stats.to_dict()),
+        )
     image = request.input_image
     if image is None and spec.fidelity == "functional":
         if request.input_seed is None:
@@ -87,14 +108,23 @@ def _serve_request(cache, pool, request: FastPathRunRequest) -> FastPathRunResul
                 f"request {request.request_id} has neither an input image "
                 f"nor an input seed"
             )
-        image = make_input(
-            bundle.loadable.input_tensor.shape, request_rng(*request.input_seed)
-        )
+        with tracer.span("input.synthesize", parent=serve_span):
+            image = make_input(
+                bundle.loadable.input_tensor.shape, request_rng(*request.input_seed)
+            )
     worker = pool.worker_for(spec)
+    execute_span = tracer.start("execute", parent=serve_span,
+                                mode=spec.execution_mode)
     began = time.perf_counter()
     result = worker.run(bundle, input_image=image)
     wall = time.perf_counter() - began
     worker.stats.busy_seconds += wall
+    if tracer.enabled:
+        tracer.end(execute_span, cycles=result.cycles,
+                   sim_seconds=result.seconds, worker_id=worker.worker_id)
+        record_unit_spans(tracer, execute_span,
+                          getattr(result, "op_records", ()), result.cycles)
+        tracer.end(serve_span, ok=result.ok)
     return FastPathRunResult(
         request_id=request.request_id,
         ok=result.ok,
@@ -103,6 +133,7 @@ def _serve_request(cache, pool, request: FastPathRunRequest) -> FastPathRunResul
         sim_seconds=result.seconds,
         wall_seconds=wall,
         worker_id=worker.worker_id,
+        spans=tuple(tracer.drain()) if tracer.enabled else (),
     )
 
 
@@ -113,6 +144,7 @@ def _worker_main(
     max_resident_bundles: int | None,
     inbox,
     outbox,
+    trace_enabled: bool = False,
 ) -> None:
     """Entry point of one worker process (top level: spawn-picklable)."""
     from repro.serve.cache import BundleCache
@@ -129,6 +161,7 @@ def _worker_main(
     pool = WorkerPool(
         calibration=calibration, max_resident_bundles=max_resident_bundles
     )
+    tracer = Tracer(enabled=trace_enabled, process=worker_id)
     outbox.put(("ready", worker_id, None))
     while True:
         message = inbox.get()
@@ -136,8 +169,12 @@ def _worker_main(
             return
         batch_id, requests = message
         try:
-            results = [_serve_request(cache, pool, request) for request in requests]
+            results = [
+                _serve_request(cache, pool, request, tracer=tracer)
+                for request in requests
+            ]
         except Exception as exc:  # ship the failure, keep serving
+            tracer.drain()  # half-built spans of a failed batch
             outbox.put(("error", batch_id, f"{type(exc).__name__}: {exc}"))
         else:
             outbox.put(("done", batch_id, results))
@@ -193,6 +230,7 @@ class _WorkerHandle:
                 self.pool.max_resident_bundles,
                 self.inbox,
                 self.outbox,
+                self.pool.trace_enabled,
             ),
             daemon=True,
         )
@@ -261,6 +299,7 @@ class ProcessWorkerPool:
         max_resident_bundles: int | None = None,
         start_timeout_s: float = 120.0,
         batch_timeout_s: float | None = None,
+        trace_enabled: bool = False,
     ) -> None:
         if processes <= 0:
             raise ReproError("pool needs at least one worker process")
@@ -272,6 +311,7 @@ class ProcessWorkerPool:
         self.max_resident_bundles = max_resident_bundles
         self.start_timeout_s = start_timeout_s
         self.batch_timeout_s = batch_timeout_s
+        self.trace_enabled = trace_enabled
         self.handles: list[_WorkerHandle] = []
         self.restarts = 0
         self._next_batch_id = 0

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.baremetal.pipeline import BaremetalBundle
 from repro.core.calibration import CalibrationTable
+from repro.obs.trace import NULL_TRACER, Tracer, record_unit_spans
 from repro.serve.cache import BundleCache
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.request import (
@@ -44,6 +45,7 @@ class InferenceService:
         input_seed: int = 7,
         calibration: CalibrationTable | None = None,
         max_resident_bundles: int | None = None,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         # NOT `cache or BundleCache()`: an empty cache is falsy (__len__)
         # and would be silently swapped for one without its store.
@@ -55,6 +57,7 @@ class InferenceService:
             max_resident_bundles=max_resident_bundles,
         )
         self.metrics = ServiceMetrics()
+        self.tracer = tracer
         # Inputs the service synthesises are drawn per request from
         # request_rng(input_seed, request_id) — see that function for
         # the determinism convention — so the tensor request i receives
@@ -120,29 +123,60 @@ class InferenceService:
         hit = self.cache.stats.misses == misses_before
         if hit:
             self.metrics.bundle_hits += 1
+            source = "memory"
         else:
             self.metrics.bundle_misses += 1
             if self.cache.stats.store_hits > store_hits_before:
                 self.metrics.bundle_store_hits += 1
+                source = "store"
             else:
                 self.metrics.bundle_compiles += 1
+                source = "compile"
+        self._last_resolution = source
         return bundle, hit
 
     def _serve_batch(self, batch: Batch) -> list[InferenceResponse]:
+        tracer = self.tracer
+        # Batch-scope work (one bundle resolution serves every request)
+        # gets its own trace so per-request trees stay single-rooted.
+        batch_span = tracer.start(
+            "batch", trace_id=f"batch-{batch.batch_id}",
+            batch_id=batch.batch_id, size=len(batch.requests),
+            deployment=batch.deployment.describe(),
+        )
+        resolve_span = tracer.start("bundle.resolve", parent=batch_span)
         bundle, cache_hit = self.bundle_for(batch.deployment)
+        tracer.end(resolve_span, source=getattr(self, "_last_resolution", "memory"))
         worker = self.pool.worker_for(batch.deployment)
         responses: list[InferenceResponse] = []
         for request in batch.requests:
+            root = tracer.start(
+                "request", trace_id=f"req-{request.request_id}",
+                request_id=request.request_id,
+                deployment=batch.deployment.describe(),
+                batch_id=batch.batch_id,
+            )
             image = request.input_image
             if image is None and batch.deployment.fidelity == "functional":
                 shape = bundle.loadable.input_tensor.shape
-                image = make_input(
-                    shape, request_rng(self.input_seed, request.request_id)
-                )
+                with tracer.span("input.synthesize", parent=root):
+                    image = make_input(
+                        shape, request_rng(self.input_seed, request.request_id)
+                    )
+            execute_span = tracer.start(
+                "execute", parent=root, mode=batch.deployment.execution_mode
+            )
             began = time.perf_counter()
             result = worker.run(bundle, input_image=image)
             wall = time.perf_counter() - began
             worker.stats.busy_seconds += wall
+            if tracer.enabled:
+                tracer.end(execute_span, cycles=result.cycles,
+                           sim_seconds=result.seconds,
+                           worker_id=worker.worker_id)
+                record_unit_spans(tracer, execute_span,
+                                  getattr(result, "op_records", ()), result.cycles)
+                tracer.end(root, ok=result.ok, cycles=result.cycles)
             self.metrics.record(
                 wall, result.cycles, result.ok, deployment=batch.deployment.describe()
             )
@@ -161,6 +195,7 @@ class InferenceService:
                 )
             )
             cache_hit = True  # later requests of the batch reuse the bundle
+        tracer.end(batch_span)
         self.metrics.batches += 1
         return responses
 

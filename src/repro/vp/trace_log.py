@@ -86,6 +86,50 @@ class TraceLog:
     def __len__(self) -> int:
         return len(self._order)
 
+    def to_spans(self, frequency_hz: float = 100e6) -> list[dict]:
+        """The log as ``repro.obs`` span dicts on the simulated clock.
+
+        Each transaction becomes a one-cycle span (the VP logs instants,
+        not durations) with cycles converted to seconds at
+        ``frequency_hz``; CSB traffic lands on lane 0, DBB on lane 1,
+        so both exporters (`repro trace export/vp`) and Perfetto show
+        the register programming interleaved with memory traffic.
+        """
+        period = 1.0 / frequency_hz
+        spans = []
+        for t in self.transactions():
+            is_csb = isinstance(t, CsbTransaction)
+            attrs = {
+                "cycle": t.cycle,
+                "address": f"0x{t.address:08x}",
+                "iswrite": t.iswrite,
+            }
+            if is_csb:
+                attrs["data"] = f"0x{t.data:08x}"
+            else:
+                attrs["bytes"] = len(t.data)
+            spans.append({
+                "name": ("csb.write" if t.iswrite else "csb.read") if is_csb
+                        else ("dbb.write" if t.iswrite else "dbb.read"),
+                "trace_id": "vp",
+                "span_id": f"vp-{len(spans)}",
+                "parent_id": None,
+                "start_s": t.cycle * period,
+                "end_s": (t.cycle + 1) * period,
+                "process": 0 if is_csb else 1,
+                "attrs": attrs,
+            })
+        return spans
+
+    def to_trace_events(self, frequency_hz: float = 100e6) -> dict:
+        """Chrome trace-event JSON of the log, loadable in Perfetto."""
+        from repro.obs.export import to_chrome_trace
+
+        return to_chrome_trace(
+            self.to_spans(frequency_hz),
+            process_names={0: "csb", 1: "dbb"},
+        )
+
 
 _CSB_RE = re.compile(
     rf"^(\d+)\s+{re.escape(CSB_KEYWORD)}:\s+addr=0x([0-9a-fA-F]+)\s+"

@@ -1,0 +1,101 @@
+"""Virtual-clock tracing of the fleet simulation.
+
+Cluster spans live on the simulated timeline (explicit timestamps via
+``Tracer.add``), one Perfetto lane per replica; rejections are recorded
+as zero-duration spans with the reason, so a trace shows shed load next
+to served load.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    AdmissionController,
+    ClusterSimulation,
+    PoissonArrivals,
+    SloPolicy,
+    generate_workload,
+    make_router,
+)
+from repro.obs import Tracer, build_trees, to_chrome_trace
+from repro.serve import DeploymentSpec, shared_cache
+
+SEED = 7
+LENET = DeploymentSpec("lenet5")
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return shared_cache()
+
+
+def _run(workload, cache, **kwargs):
+    tracer = Tracer(enabled=True, process=-1)
+    defaults = dict(replicas=2, cache=cache, tracer=tracer)
+    defaults.update(kwargs)
+    simulation = ClusterSimulation(make_router("round_robin"), **defaults)
+    return simulation.run(workload), tracer
+
+
+def test_completed_requests_trace_on_the_virtual_clock(cache):
+    workload = generate_workload(PoissonArrivals(50.0), [LENET], 40, seed=SEED)
+    result, tracer = _run(workload, cache)
+    metrics = result.metrics
+    assert metrics.completed > 0
+
+    spans = tracer.finished
+    roots = [s for s in spans if s["name"] == "request"
+             and "rejected" not in s["attrs"]]
+    assert len(roots) == metrics.completed
+    # Virtual timestamps: seconds from simulation start, not epoch.
+    assert all(0.0 <= s["start_s"] < 1e4 for s in spans)
+    # Trace ids carry the routing policy; lanes are replica ids.
+    assert all(s["trace_id"].startswith("round_robin:req-") for s in roots)
+    assert all(s["process"] >= 0 for s in roots)  # replica lanes, not plane
+    # Every tree is single-rooted with a run child, and no orphans.
+    for tree in build_trees(spans):
+        assert len(tree.roots) == 1 and tree.orphans == []
+        names = [n.name for _, n in tree.roots[0].walk()]
+        assert "run" in names
+    # The export keeps the replica lanes.
+    chrome = to_chrome_trace(spans)
+    pids = {e["pid"] for e in chrome["traceEvents"] if e["ph"] == "X"}
+    assert pids == {s["process"] for s in spans}
+
+
+def test_queue_wait_spans_appear_under_contention(cache):
+    # One replica at overload: later arrivals must queue.
+    workload = generate_workload(PoissonArrivals(400.0), [LENET], 60, seed=SEED)
+    _, tracer = _run(workload, cache, replicas=1)
+    waits = [s for s in tracer.finished if s["name"] == "queue.wait"]
+    assert waits
+    for wait in waits:
+        assert wait["end_s"] > wait["start_s"]
+        # The wait precedes its request's service window.
+        assert wait["parent_id"] is not None
+
+
+def test_rejections_become_zero_duration_spans(cache):
+    slo = SloPolicy(slo_latency_s=0.05, max_rejection_rate=0.5, max_queue_depth=1)
+    workload = generate_workload(PoissonArrivals(500.0), [LENET], 80, seed=SEED)
+    result, tracer = _run(
+        workload, cache, replicas=1, admission=AdmissionController(slo))
+    metrics = result.metrics
+    assert metrics.rejected > 0
+
+    rejected = [s for s in tracer.finished
+                if s["name"] == "request" and "rejected" in s["attrs"]]
+    assert len(rejected) == metrics.rejected
+    for span in rejected:
+        assert span["start_s"] == span["end_s"]
+        assert span["attrs"]["rejected"] in (
+            "no_replicas", "queue_full", "latency_budget")
+
+
+def test_disabled_tracer_fleet_records_nothing(cache):
+    workload = generate_workload(PoissonArrivals(50.0), [LENET], 20, seed=SEED)
+    simulation = ClusterSimulation(
+        make_router("round_robin"), replicas=2, cache=cache)
+    simulation.run(workload)
+    assert len(simulation.tracer) == 0

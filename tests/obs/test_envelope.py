@@ -1,0 +1,38 @@
+"""Benchmark artifact envelope: provenance without disturbing results."""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime
+
+from repro.obs import SCHEMA_VERSION, bench_envelope
+
+
+def test_envelope_wraps_results_untouched():
+    results = {"planes": {"1": {"rps": 100.0}}, "bit_identical": True}
+    payload = bench_envelope(
+        "bench_serving.process_scaling", {"smoke": True, "requests": 16}, results
+    )
+    assert payload["schema_version"] == SCHEMA_VERSION
+    assert payload["benchmark"] == "bench_serving.process_scaling"
+    assert payload["run_config"] == {"smoke": True, "requests": 16}
+    assert payload["results"] is results  # consumers read this key as-is
+
+
+def test_generated_at_is_parseable_utc_iso8601():
+    payload = bench_envelope("b", {}, {})
+    stamp = datetime.fromisoformat(payload["generated_at"])
+    assert stamp.tzinfo is not None
+    assert stamp.utcoffset().total_seconds() == 0
+
+
+def test_envelope_is_json_serialisable():
+    payload = bench_envelope("b", {"seed": 7}, {"x": [1, 2]})
+    assert json.loads(json.dumps(payload)) == payload
+
+
+def test_run_config_is_copied_not_aliased():
+    config = {"seed": 7}
+    payload = bench_envelope("b", config, {})
+    config["seed"] = 8
+    assert payload["run_config"]["seed"] == 7

@@ -1,0 +1,196 @@
+"""Exporters and tree reconstruction: JSONL, Chrome trace, orphans.
+
+Spans hit the JSONL file as workers drain them, so children routinely
+precede parents and whole subtrees interleave across traces — tree
+reconstruction must not depend on file order.  The Chrome trace export
+must survive a write/read round trip with identities and attrs intact.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.obs.export import (
+    build_trees,
+    read_jsonl,
+    read_trace,
+    render_summary,
+    render_tree,
+    summarize,
+    to_chrome_trace,
+    write_jsonl,
+    write_trace,
+)
+
+
+def span(name, trace_id, span_id, parent_id=None, start=0.0, end=1.0,
+         process=-1, **attrs):
+    return {"name": name, "trace_id": trace_id, "span_id": span_id,
+            "parent_id": parent_id, "start_s": start, "end_s": end,
+            "process": process, "attrs": attrs}
+
+
+def request_tree(request_id, base=0.0):
+    """root → queue + (worker.serve → execute → unit.conv), two pids."""
+    trace = f"req-{request_id}"
+    return [
+        span("request", trace, f"p.{request_id}", start=base, end=base + 1.0),
+        span("queue", trace, f"p.{request_id}q", parent_id=f"p.{request_id}",
+             start=base, end=base + 0.2),
+        span("worker.serve", trace, f"w.{request_id}", parent_id=f"p.{request_id}",
+             start=base + 0.3, end=base + 0.9, process=0),
+        span("execute", trace, f"w.{request_id}x", parent_id=f"w.{request_id}",
+             start=base + 0.4, end=base + 0.8, process=0, cycles=1000),
+        span("unit.conv", trace, f"w.{request_id}u", parent_id=f"w.{request_id}x",
+             start=base + 0.4, end=base + 0.6, process=0, cycles=500),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Tree reconstruction.
+# ----------------------------------------------------------------------
+
+
+def test_out_of_order_jsonl_reconstructs_every_tree(tmp_path):
+    spans = [s for i in range(4) for s in request_tree(i, base=float(i))]
+    random.Random(7).shuffle(spans)  # children before parents, interleaved
+    path = tmp_path / "trace.jsonl"
+    assert write_jsonl(path, spans) == 20
+    trees = build_trees(read_jsonl(path))
+    assert len(trees) == 4
+    for tree in trees:
+        assert len(tree.roots) == 1
+        assert tree.orphans == []
+        assert tree.span_count == 5
+        names = [node.name for _, node in tree.roots[0].walk()]
+        assert names == ["request", "queue", "worker.serve",
+                         "execute", "unit.conv"]
+
+
+def test_walk_orders_children_by_start_time():
+    (tree,) = build_trees(request_tree(0))
+    depths = {node.name: depth for depth, node in tree.roots[0].walk()}
+    assert depths == {"request": 0, "queue": 1, "worker.serve": 1,
+                      "execute": 2, "unit.conv": 3}
+
+
+def test_missing_parent_is_an_orphan_not_a_crash():
+    spans = request_tree(0)
+    spans = [s for s in spans if s["span_id"] != "w.0"]  # drop the link
+    (tree,) = build_trees(spans)
+    assert len(tree.roots) == 1
+    assert [o["name"] for o in tree.orphans] == ["execute"]
+    # The root tree reaches request+queue; execute is orphaned (and
+    # unit.conv, attached below it, is unreachable from the root).
+    assert tree.span_count == 3  # request + queue + the orphan
+    assert "ORPHAN execute" in render_tree(tree)
+
+
+def test_parentless_spans_group_by_trace():
+    spans = [span("a", "t1", "1"), span("b", "t1", "2"), span("c", "t2", "3")]
+    trees = build_trees(spans)
+    assert [t.trace_id for t in trees] == ["t1", "t2"]
+    assert len(trees[0].roots) == 2 and len(trees[1].roots) == 1
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event export.
+# ----------------------------------------------------------------------
+
+
+def test_chrome_trace_structure():
+    spans = request_tree(3, base=10.0)
+    payload = to_chrome_trace(spans)
+    events = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+    meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+    assert len(events) == len(spans)
+    # Timestamps rebase to the earliest span.
+    assert min(e["ts"] for e in events) == 0.0
+    root = next(e for e in events if e["name"] == "request")
+    assert root["dur"] == 1e6  # 1 s in µs
+    assert root["pid"] == -1
+    assert root["args"]["trace_id"] == "req-3"
+    execute = next(e for e in events if e["name"] == "execute")
+    assert execute["pid"] == 0 and execute["args"]["cycles"] == 1000
+    # Metadata names both processes and the per-trace tracks.
+    names = {(m["name"], m["pid"]): m["args"]["name"] for m in meta}
+    assert names[("process_name", -1)] == "plane"
+    assert names[("process_name", 0)] == "worker-0"
+    assert names[("thread_name", -1)] == "req-3"
+    json.loads(json.dumps(payload))  # serialisable as-is
+
+
+def test_chrome_trace_empty_and_unfinished_spans():
+    assert to_chrome_trace([]) == {"traceEvents": [], "displayTimeUnit": "ms"}
+    unfinished = span("open", "t", "1")
+    unfinished["end_s"] = None
+    payload = to_chrome_trace([unfinished, span("done", "t", "2")])
+    assert [e["name"] for e in payload["traceEvents"] if e["ph"] == "X"] == ["done"]
+
+
+def test_process_name_override():
+    payload = to_chrome_trace(
+        [span("csb.read", "vp", "1", process=0)], process_names={0: "csb"})
+    meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+    assert any(m["args"]["name"] == "csb" for m in meta)
+
+
+# ----------------------------------------------------------------------
+# write_trace / read_trace extension dispatch + round trips.
+# ----------------------------------------------------------------------
+
+
+def test_jsonl_round_trip_is_lossless(tmp_path):
+    spans = request_tree(0)
+    path = tmp_path / "t.jsonl"
+    write_trace(path, spans)
+    assert read_trace(path) == spans
+
+
+def test_chrome_round_trip_preserves_identity_and_attrs(tmp_path):
+    spans = request_tree(1, base=5.0)
+    path = tmp_path / "t.json"
+    assert write_trace(path, spans) == len(spans)
+    loaded = read_trace(path)
+    assert len(loaded) == len(spans)
+    by_id = {s["span_id"]: s for s in loaded}
+    for original in spans:
+        got = by_id[original["span_id"]]
+        assert got["name"] == original["name"]
+        assert got["trace_id"] == original["trace_id"]
+        assert got["parent_id"] == original["parent_id"]
+        assert got["process"] == original["process"]
+        assert got["attrs"] == original["attrs"]
+        # Times are rebased but durations survive (µs precision).
+        assert got["end_s"] - got["start_s"] == pytest.approx(
+            original["end_s"] - original["start_s"])
+    # The reconstructed spans still tree up with no orphans.
+    (tree,) = build_trees(loaded)
+    assert len(tree.roots) == 1 and tree.orphans == []
+
+
+# ----------------------------------------------------------------------
+# Summaries.
+# ----------------------------------------------------------------------
+
+
+def test_summarize_groups_by_name():
+    spans = [s for i in range(3) for s in request_tree(i)]
+    stats = summarize(spans)
+    assert stats["request"]["count"] == 3
+    assert stats["request"]["mean"] == 1.0
+    assert stats["unit.conv"]["count"] == 3
+    # Unfinished spans are excluded, not crashed on.
+    open_span = span("open", "t", "x")
+    open_span["end_s"] = None
+    assert "open" not in summarize(spans + [open_span])
+
+
+def test_render_summary_header_counts():
+    spans = [s for i in range(2) for s in request_tree(i)]
+    text = render_summary(spans)
+    assert text.splitlines()[0] == "10 spans, 2 traces, 0 orphans"
+    assert "worker.serve" in text

@@ -1,0 +1,112 @@
+"""The shared percentile implementation vs an independent reference.
+
+`repro.obs.stats.percentile` is the single nearest-rank implementation
+every layer reports through; these tests pin it against a from-scratch
+reference (and, when hypothesis is installed, drive it with arbitrary
+sample sets) so a "p99" means the same thing in serve metrics, cluster
+metrics and trace summaries.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.stats import LatencySummary, percentile
+
+
+def reference_percentile(samples, q):
+    """Nearest-rank percentile, written the long way."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = math.ceil(len(ordered) * q / 100)
+    return ordered[max(rank, 1) - 1]
+
+
+def test_empty_is_zero():
+    assert percentile([], 50) == 0.0
+    assert percentile([], 99) == 0.0
+
+
+def test_single_sample_is_every_percentile():
+    for q in (0, 1, 50, 99, 100):
+        assert percentile([3.25], q) == 3.25
+
+
+def test_out_of_range_raises():
+    with pytest.raises(ValueError):
+        percentile([1.0], -1)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_known_values():
+    samples = list(range(1, 101))  # 1..100
+    assert percentile(samples, 50) == 50
+    assert percentile(samples, 99) == 99
+    assert percentile(samples, 100) == 100
+    assert percentile(samples, 0) == 1  # rank floors at 1
+
+
+def test_order_independent():
+    samples = [5.0, 1.0, 4.0, 2.0, 3.0]
+    assert percentile(samples, 50) == percentile(sorted(samples), 50) == 3.0
+
+
+def test_matches_reference_on_grid():
+    samples = [0.5, 1.5, 2.5, 7.0, 7.0, 9.0, 100.0]
+    for q in range(0, 101):
+        assert percentile(samples, q) == reference_percentile(samples, q)
+
+
+def test_summary_fields_agree_with_percentile():
+    samples = [float(i) for i in range(1, 21)]
+    summary = LatencySummary.of(samples)
+    assert summary.count == 20
+    assert summary.mean == pytest.approx(10.5)
+    assert summary.p50 == percentile(samples, 50)
+    assert summary.p99 == percentile(samples, 99)
+    assert summary.max == 20.0
+    assert summary.to_dict() == {
+        "count": 20, "mean": summary.mean, "p50": summary.p50,
+        "p99": summary.p99, "max": 20.0,
+    }
+
+
+def test_empty_summary():
+    assert LatencySummary.of([]).to_dict() == {
+        "count": 0, "mean": 0.0, "p50": 0.0, "p99": 0.0, "max": 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# Property tests (skipped cleanly when hypothesis is absent).
+# ----------------------------------------------------------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st  # noqa: E402
+
+_samples = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=1, max_size=200,
+)
+_qs = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+@given(_samples, _qs)
+def test_property_matches_reference(samples, q):
+    assert percentile(samples, q) == reference_percentile(samples, q)
+
+
+@given(_samples, _qs)
+def test_property_result_is_a_sample(samples, q):
+    assert percentile(samples, q) in samples
+
+
+@given(_samples)
+def test_property_monotone_in_q(samples):
+    values = [percentile(samples, q) for q in range(0, 101, 5)]
+    assert values == sorted(values)
+    assert values[-1] == max(samples)

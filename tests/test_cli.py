@@ -206,3 +206,95 @@ def test_serve_unknown_model_rejected():
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+# ----------------------------------------------------------------------
+# Observability: --trace-out/--metrics-out and the trace/metrics verbs.
+# ----------------------------------------------------------------------
+
+
+def test_serve_writes_trace_and_metrics(tmp_path, capsys):
+    trace_path = tmp_path / "trace.jsonl"
+    metrics_path = tmp_path / "metrics.json"
+    code = main(
+        [
+            "serve", "--models", "lenet5", "--requests", "3",
+            "--fidelity", "timing",
+            "--trace-out", str(trace_path),
+            "--metrics-out", str(metrics_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "spans written to" in out
+    assert trace_path.exists() and metrics_path.exists()
+
+    # Summarize reports the span population with no orphans.
+    assert main(["trace", "summarize", "--in", str(trace_path)]) == 0
+    summary = capsys.readouterr().out
+    assert "0 orphans" in summary
+    assert "request" in summary and "execute" in summary
+
+    # View renders trees; exit 0 means every parent link resolved.
+    assert main(["trace", "view", "--in", str(trace_path), "--limit", "2"]) == 0
+    view = capsys.readouterr().out
+    assert "trace req-0" in view and "execute" in view
+
+    # Export converts to Perfetto JSON, which reads back as spans.
+    perfetto = tmp_path / "trace.json"
+    assert main(
+        ["trace", "export", "--in", str(trace_path), "--out", str(perfetto)]
+    ) == 0
+    capsys.readouterr()
+    import json
+
+    payload = json.loads(perfetto.read_text())
+    assert any(e.get("ph") == "X" for e in payload["traceEvents"])
+
+    # The metrics verb renders the snapshot (and merging it with itself
+    # doubles the counters).
+    assert main(["metrics", str(metrics_path)]) == 0
+    rendered = capsys.readouterr().out
+    assert "serve.requests: 3" in rendered
+    assert main(["metrics", str(metrics_path), str(metrics_path)]) == 0
+    assert "serve.requests: 6" in capsys.readouterr().out
+
+
+def test_trace_vp_converts_a_vp_log(tmp_path, capsys):
+    from repro.vp.trace_log import TraceLog
+
+    log = TraceLog()
+    log.log_csb(12, 0xB010, 0x1, True)
+    log.log_dbb(20, 0x100000, b"\x00" * 64, False)
+    vp_log = tmp_path / "vp_trace.log"
+    vp_log.write_text(log.render())
+    out_path = tmp_path / "vp_trace.json"
+    code = main(
+        ["trace", "vp", "--in", str(vp_log), "--out", str(out_path)]
+    )
+    assert code == 0
+    assert "2 transactions written" in capsys.readouterr().out
+    import json
+
+    payload = json.loads(out_path.read_text())
+    names = [e["name"] for e in payload["traceEvents"] if e.get("ph") == "X"]
+    assert names == ["csb.write", "dbb.read"]
+
+
+def test_bench_cluster_writes_trace(tmp_path, capsys):
+    trace_path = tmp_path / "cluster.jsonl"
+    code = main(
+        [
+            "bench-cluster", "--models", "lenet5", "--requests", "40",
+            "--policy", "round_robin", "--trace-out", str(trace_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "spans written to" in out
+    from repro.obs import build_trees, read_trace
+
+    spans = read_trace(trace_path)
+    assert spans
+    assert all(s["trace_id"].startswith("round_robin:req-") for s in spans)
+    assert sum(len(t.orphans) for t in build_trees(spans)) == 0
