@@ -1,0 +1,287 @@
+"""Static-analyzer gates — miscompile detection and zoo cleanliness.
+
+Two contracts, both execution-free:
+
+1. **Mutation gate**: inject every modeled miscompile class into a
+   known-good compilation (at the descriptor-chain or schedule level)
+   and assert the analyzer flags each one with the *expected* pass —
+   a sanitizer that misses a shifted base address or an over-budget
+   CBUF split is worse than none.
+2. **Clean gate**: every zoo model on every hardware config analyzes
+   with zero errors and zero warnings, so ``--verify`` can be turned
+   on anywhere without false alarms.
+
+The analyze path never touches the ISS, bus, or engine models; the
+script also reports analysis cost next to compile cost to keep the
+"well under one simulated run" property honest.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable
+
+from repro.nn.zoo import ZOO
+from repro.nvdla.config import Precision, get_config
+from repro.nvdla.programming import WRITE, build_chains
+from repro.analyze import analyze_chains, analyze_loadable
+from repro.compiler import CompileOptions, compile_network
+
+from benchmarks.conftest import single_shot
+
+#: Config -> the precision the paper evaluates it at.
+CONFIG_PRECISION = {"nv_small": Precision.INT8, "nv_full": Precision.FP16}
+
+ZOO_MODELS = ("lenet5", "resnet18", "resnet50", "mobilenet", "googlenet", "alexnet")
+SMOKE_MODELS = ("lenet5", "resnet18")
+
+
+def compile_model(model: str, config_name: str):
+    config = get_config(config_name)
+    precision = CONFIG_PRECISION[config_name]
+    loadable = compile_network(
+        ZOO[model](), config, CompileOptions(precision=precision)
+    )
+    return loadable, config
+
+
+def mutate_chain_write(chains, unit: str, register: str, fn: Callable[[int], int]):
+    """Rewrite the first matching descriptor write across the chains."""
+    for chain in chains:
+        for index, event in enumerate(chain.events):
+            if event.kind == WRITE and event.unit == unit and event.register == register:
+                chain.events[index] = replace(event, value=fn(event.value) & 0xFFFFFFFF)
+                return chains
+    raise AssertionError(f"no {unit}.{register} write found to mutate")
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One injected miscompile class."""
+
+    name: str
+    description: str
+    #: Pass ids that are allowed to claim the catch; detection requires
+    #: at least one error from this set.
+    expected_passes: frozenset[str]
+    unit: str = ""
+    register: str = ""
+    fn: Callable[[int], int] | None = None
+    swap_schedule: bool = False
+
+
+MUTATIONS: tuple[Mutation, ...] = (
+    Mutation(
+        name="shifted-base",
+        description="output base address shifted outside the DRAM window",
+        expected_passes=frozenset({"dma-bounds"}),
+        unit="SDP", register="D_DST_ADDR_LOW", fn=lambda v: v + 0x0400_0000,
+    ),
+    Mutation(
+        name="shifted-base-small",
+        description="output base nudged off its blob (stays in-window)",
+        expected_passes=frozenset({"hazard"}),
+        unit="SDP", register="D_DST_ADDR_LOW", fn=lambda v: v + 0x100,
+    ),
+    Mutation(
+        name="truncated-surface",
+        description="output channel count halved (surface too small)",
+        expected_passes=frozenset({"hazard", "layout"}),
+        unit="SDP", register="D_DST_CHANNEL", fn=lambda v: max(1, v // 2),
+    ),
+    Mutation(
+        name="swapped-producer-consumer",
+        description="schedule order inverted: consumer launches first",
+        expected_passes=frozenset({"dependency"}),
+        swap_schedule=True,
+    ),
+    Mutation(
+        name="cbuf-overbudget",
+        description="data partition claims every CBUF bank, leaving "
+                    "no weight bank",
+        expected_passes=frozenset({"cbuf"}),
+        unit="CDMA", register="D_BANK_DATA", fn=lambda v: 0,  # patched per-config
+    ),
+    Mutation(
+        name="field-range",
+        description="converter shift exceeds its 6-bit field",
+        expected_passes=frozenset({"register-field"}),
+        unit="SDP", register="D_CVT_SHIFT", fn=lambda v: 0x80,
+    ),
+    Mutation(
+        name="stride-mismatch",
+        description="input line stride doubled vs the packed layout",
+        expected_passes=frozenset({"layout"}),
+        unit="CDMA", register="D_DAIN_LINE_STRIDE", fn=lambda v: v * 2,
+    ),
+    Mutation(
+        name="enum-field",
+        description="pooling method set to an undefined enum value",
+        expected_passes=frozenset({"register-field"}),
+        unit="PDP", register="D_POOLING_METHOD", fn=lambda v: 7,
+    ),
+)
+
+
+def run_mutation_gate(model: str = "lenet5", config_name: str = "nv_small"):
+    """Inject each miscompile; return per-mutation detection records."""
+    loadable, config = compile_model(model, config_name)
+    results = []
+    for mutation in MUTATIONS:
+        if mutation.swap_schedule:
+            ops = loadable.schedule.ops
+            ops[0], ops[1] = ops[1], ops[0]
+            try:
+                chains = build_chains(loadable, config)
+                report = analyze_chains(chains, loadable, config,
+                                        artifact=f"{model}+{mutation.name}")
+            finally:
+                ops[0], ops[1] = ops[1], ops[0]
+        else:
+            fn = mutation.fn
+            if mutation.name == "cbuf-overbudget":
+                fn = lambda v: config.cbuf_banks  # noqa: E731
+            chains = mutate_chain_write(
+                build_chains(loadable, config), mutation.unit, mutation.register, fn
+            )
+            report = analyze_chains(chains, loadable, config,
+                                    artifact=f"{model}+{mutation.name}")
+        error_passes = sorted({d.pass_id for d in report.errors})
+        results.append({
+            "mutation": mutation.name,
+            "description": mutation.description,
+            "detected": not report.clean,
+            "attributed": bool(mutation.expected_passes & set(error_passes)),
+            "expected_passes": sorted(mutation.expected_passes),
+            "error_passes": error_passes,
+            "error_codes": sorted({d.code for d in report.errors}),
+            "errors": len(report.errors),
+        })
+    return results
+
+
+def run_zoo_clean(models=ZOO_MODELS, configs=("nv_small", "nv_full")):
+    """Compile + analyze each model/config pair; returns timing rows."""
+    rows = []
+    for config_name in configs:
+        for model in models:
+            began = time.perf_counter()
+            loadable, config = compile_model(model, config_name)
+            compile_ms = (time.perf_counter() - began) * 1e3
+            began = time.perf_counter()
+            report = analyze_loadable(loadable, config,
+                                      artifact=f"{model}/{config_name}")
+            analyze_ms = (time.perf_counter() - began) * 1e3
+            rows.append({
+                "model": model,
+                "config": config_name,
+                "chains": report.chains,
+                "surfaces": report.surfaces,
+                "errors": len(report.errors),
+                "warnings": len(report.warnings),
+                "clean": report.clean,
+                "compile_ms": round(compile_ms, 1),
+                "analyze_ms": round(analyze_ms, 1),
+            })
+    return rows
+
+
+def _render_mutations(results) -> str:
+    lines = ["mutation gate — every injected miscompile must be flagged"]
+    for r in results:
+        verdict = "CAUGHT" if r["detected"] and r["attributed"] else "MISSED"
+        lines.append(
+            f"  {r['mutation']:<26} {verdict}  "
+            f"{r['errors']} error(s) via {','.join(r['error_passes']) or '-'}"
+        )
+    return "\n".join(lines)
+
+
+def _render_clean(rows) -> str:
+    lines = ["zoo clean gate — model x config, analyze vs compile cost"]
+    for r in rows:
+        lines.append(
+            f"  {r['model']:<10} {r['config']:<8} "
+            f"{r['chains']:>3} chains {r['surfaces']:>3} surfaces  "
+            f"{'clean' if r['clean'] else 'DIRTY'}  "
+            f"analyze {r['analyze_ms']:7.1f} ms vs compile {r['compile_ms']:8.1f} ms"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# pytest gates
+# ----------------------------------------------------------------------
+
+
+def test_mutation_gate_catches_every_class(benchmark, report):
+    results = single_shot(benchmark, run_mutation_gate)
+    report(_render_mutations(results))
+    assert len(results) >= 6  # the issue's floor on miscompile classes
+    missed = [r["mutation"] for r in results if not r["detected"]]
+    assert not missed, f"analyzer missed injected miscompiles: {missed}"
+    misattributed = [
+        f"{r['mutation']} (got {r['error_passes']}, wanted {r['expected_passes']})"
+        for r in results if not r["attributed"]
+    ]
+    assert not misattributed, f"wrong pass claimed the catch: {misattributed}"
+
+
+def test_zoo_analyzes_clean(benchmark, report):
+    rows = single_shot(benchmark, run_zoo_clean)
+    report(_render_clean(rows))
+    assert len(rows) == len(ZOO_MODELS) * 2
+    dirty = [f"{r['model']}/{r['config']}" for r in rows
+             if r["errors"] or r["warnings"]]
+    assert not dirty, f"zoo artifacts with findings: {dirty}"
+    # Static analysis must stay far cheaper than one simulated run;
+    # compile alone (a fraction of a run) already dwarfs it.
+    slow = [r for r in rows if r["analyze_ms"] > r["compile_ms"]]
+    assert not slow, f"analysis slower than compilation: {slow}"
+
+
+# ----------------------------------------------------------------------
+# Script entry point (CI artifact).
+# ----------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    from repro.obs import bench_envelope
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced run (lenet5+resnet18 only) for CI")
+    parser.add_argument("--out", default=None, help="write results JSON here")
+    args = parser.parse_args(argv)
+
+    models = SMOKE_MODELS if args.smoke else ZOO_MODELS
+    mutations = run_mutation_gate()
+    clean = run_zoo_clean(models=models)
+    print(_render_mutations(mutations))
+    print(_render_clean(clean))
+
+    caught = all(r["detected"] and r["attributed"] for r in mutations)
+    all_clean = all(r["clean"] and not r["warnings"] for r in clean)
+    fast = all(r["analyze_ms"] <= r["compile_ms"] for r in clean)
+    gate_ok = caught and all_clean and fast and len(mutations) >= 6
+    print("gates: " + ("PASS" if gate_ok else "FAIL"))
+
+    if args.out:
+        payload = bench_envelope(
+            "bench_analyze.mutation_and_clean_gates",
+            {"smoke": args.smoke, "models": list(models),
+             "mutation_classes": len(mutations)},
+            {"mutations": mutations, "clean": clean},
+        )
+        Path(args.out).write_text(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"results written to {args.out}")
+    return 0 if gate_ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

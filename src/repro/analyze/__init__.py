@@ -1,0 +1,34 @@
+"""repro.analyze — static verification of compiled artifacts.
+
+A compile-time sanitizer for descriptor chains: builds the surface /
+dependency graph of a loadable or bundle from the same pure
+register-programming logic the runtime replays
+(:mod:`repro.nvdla.programming`), runs bounds/hazard/budget/legality
+passes over it, and reports typed diagnostics — all without executing
+a single simulated instruction.  See README's "Static analysis"
+section for the pass taxonomy and CLI usage.
+"""
+
+import repro.nvdla  # noqa: F401  — resolve the compiler<->nvdla import cycle first
+
+from repro.analyze.analyzer import (
+    analyze_bundle,
+    analyze_chains,
+    analyze_loadable,
+    pass_ids,
+)
+from repro.analyze.diagnostics import AnalysisReport, Diagnostic, Severity
+from repro.analyze.surfaces import ParsedLayer, Surface, parse_chain
+
+__all__ = [
+    "AnalysisReport",
+    "Diagnostic",
+    "ParsedLayer",
+    "Severity",
+    "Surface",
+    "analyze_bundle",
+    "analyze_chains",
+    "analyze_loadable",
+    "parse_chain",
+    "pass_ids",
+]

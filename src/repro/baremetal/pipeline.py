@@ -102,6 +102,7 @@ def generate_baremetal(
     compile_options: CompileOptions | None = None,
     codegen_options: CodegenOptions | None = None,
     seed: int = 2024,
+    verify: bool = False,
 ) -> BaremetalBundle:
     """Run the complete offline software-generation flow.
 
@@ -109,11 +110,17 @@ def generate_baremetal(
     data logging (for ResNet-50-class models); weight extraction then
     falls back to the loadable's own weight blob and packed input, so
     the deployment images are still complete.
+
+    ``verify=True`` statically analyzes the compiled loadable (see
+    :mod:`repro.analyze`) *before* the VP runs, raising
+    :class:`~repro.errors.StaticAnalysisError` on any ERROR finding —
+    a miscompile is caught for the cost of a descriptor replay rather
+    than a simulation.
     """
     compile_options = compile_options or CompileOptions(precision=precision)
     if compile_options.precision is not precision:
         raise CodegenError("compile_options.precision disagrees with precision argument")
-    loadable = compile_network(net, config, compile_options)
+    loadable = compile_network(net, config, compile_options, verify=verify)
 
     platform = VirtualPlatform(config, fidelity=fidelity, trace=True)
     runtime = NvdlaRuntime(platform)

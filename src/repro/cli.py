@@ -5,6 +5,7 @@ Exposes the flows a downstream user runs most::
     python -m repro info
     python -m repro run --model lenet5 --config nv_small
     python -m repro run --model lenet5 --mode fast
+    python -m repro analyze --models all --config nv_small --out diags.json
     python -m repro flow --model lenet5 --out artifacts/
     python -m repro table1 | table2 | table3
     python -m repro serve --models lenet5,resnet18 --requests 32
@@ -114,6 +115,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         bundle = generate_baremetal(
             ZOO[args.model](), config, precision=precision, fidelity=args.fidelity
         )
+    if args.verify:
+        from repro.analyze import analyze_bundle
+
+        analysis = analyze_bundle(bundle)
+        if not analysis.clean:
+            print(analysis.render())
+            return 1
+        print(
+            f"static analysis: clean ({analysis.chains} chains, "
+            f"{analysis.surfaces} surfaces)"
+        )
     result = execute_bundle(
         bundle,
         execution_mode=args.mode,
@@ -126,6 +138,51 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"latency: {result.cycles:,} cycles = {result.milliseconds:.3f} ms @ {args.frequency_mhz:g} MHz")
     print(f"hw ops:  {len(result.op_records)}  program: {len(bundle.program.words)} words")
     return 0 if result.ok else 1
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Compile-only static verification: no VP, no ISS, no engine."""
+    import json
+    import time
+
+    from repro.analyze import analyze_loadable, pass_ids
+    from repro.compiler import CompileOptions, compile_network
+    from repro.nn.zoo import ZOO
+
+    config = get_config(args.config)
+    precision = Precision(args.precision)
+    models = _parse_models(args.models)
+    print(
+        f"analyzing {len(models)} model(s) on {config.name} ({precision.value}); "
+        f"passes: {', '.join(pass_ids())}"
+    )
+    reports = []
+    failures = 0
+    for model in models:
+        loadable = compile_network(
+            ZOO[model](), config, CompileOptions(precision=precision)
+        )
+        began = time.perf_counter()
+        report = analyze_loadable(loadable, config, artifact=f"{model}/{config.name}")
+        elapsed_ms = (time.perf_counter() - began) * 1e3
+        verdict = "clean" if report.clean else f"{len(report.errors)} error(s)"
+        print(
+            f"  {model:<10} {report.chains} chains, {report.surfaces} surfaces: "
+            f"{verdict} ({elapsed_ms:.1f} ms)"
+        )
+        if not report.clean or args.verbose:
+            print(report.render(verbose=args.verbose))
+        failures += 0 if report.clean else 1
+        reports.append(report.to_dict())
+    if args.out:
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(
+            {"config": config.name, "precision": precision.value, "reports": reports},
+            indent=2, sort_keys=True,
+        ))
+        print(f"diagnostics written to {args.out}")
+    return 1 if failures else 0
 
 
 def _cmd_flow(args: argparse.Namespace) -> int:
@@ -195,6 +252,8 @@ def _parse_models(models_arg: str) -> list[str]:
     """Validated zoo-model list from a comma-separated CLI value."""
     from repro.nn.zoo import ZOO
 
+    if models_arg.strip() == "all":
+        return sorted(ZOO)
     models = [m.strip() for m in models_arg.split(",") if m.strip()]
     if not models:
         raise SystemExit("--models needs at least one zoo model")
@@ -750,7 +809,7 @@ def _cmd_warmup(args: argparse.Namespace) -> int:
     for model in models:
         compiles_before = cache.stats.compiles
         began = time.perf_counter()
-        cache.bundle_for(
+        bundle = cache.bundle_for(
             model, args.config, precision=precision, fidelity=args.fidelity,
             seed=args.seed,
         )
@@ -759,6 +818,15 @@ def _cmd_warmup(args: argparse.Namespace) -> int:
             f"  {model:<10} {args.config}/{precision.value}/{args.fidelity}: "
             f"{verb} in {time.perf_counter() - began:.2f} s"
         )
+        if args.verify:
+            from repro.analyze import analyze_bundle
+
+            analysis = analyze_bundle(bundle)
+            if not analysis.clean:
+                print(analysis.render())
+                return 1
+            print(f"             static analysis: clean "
+                  f"({analysis.chains} chains, {analysis.surfaces} surfaces)")
     payload = {
         "store": _store_path(args),
         "entries": len(store),
@@ -794,7 +862,7 @@ def _cmd_store(args: argparse.Namespace) -> int:
         )
         return 0
     if args.action == "verify":
-        report = store.verify()
+        report = store.verify(static=args.static)
         print(report.render())
         return 0 if report.clean else 1
     assert args.action == "gc"
@@ -871,6 +939,23 @@ def build_parser() -> argparse.ArgumentParser:
                      help="execution tier: full SoC simulation or the calibrated fast path")
     run.add_argument("--calibration", default=None,
                      help="calibration table JSON to load/save for --mode fast")
+    run.add_argument("--verify", action="store_true",
+                     help="statically analyze the bundle before executing; "
+                          "fail on any ERROR diagnostic")
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="static descriptor-chain verification of compiled models (no execution)",
+    )
+    analyze.add_argument("--models", default="lenet5,resnet18",
+                         help="comma-separated zoo models, or 'all'")
+    analyze.add_argument("--config", default="nv_small", choices=sorted(CONFIGS))
+    analyze.add_argument("--precision", default="int8",
+                         choices=[p.value for p in Precision])
+    analyze.add_argument("--out", default=None,
+                         help="write machine-readable diagnostics JSON here")
+    analyze.add_argument("--verbose", action="store_true",
+                         help="show INFO diagnostics and clean-report details")
 
     flow = sub.add_parser("flow", help="dump every offline-flow artefact")
     flow.add_argument("--model", default="lenet5")
@@ -999,11 +1084,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="store directory (default: $REPRO_STORE_DIR or .repro-store)")
     warm.add_argument("--out", default=None,
                       help="write warmup/store stats JSON to this path")
+    warm.add_argument("--verify", action="store_true",
+                      help="statically analyze each warmed bundle; fail on ERROR")
 
     store = sub.add_parser("store", help="inspect the persistent bundle store")
     store.add_argument("action", choices=["ls", "verify", "gc"],
                        help="ls: inventory; verify: deep integrity check; "
                             "gc: evict LRU artifacts past the caps")
+    store.add_argument("--static", action="store_true",
+                       help="verify: also run the static descriptor-chain "
+                            "analyzer over each artifact")
     store.add_argument("--store", default=None,
                        help="store directory (default: $REPRO_STORE_DIR or .repro-store)")
     store.add_argument("--max-mib", type=float, default=None,
@@ -1053,6 +1143,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_info(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
     if args.command == "flow":
         return _cmd_flow(args)
     if args.command in ("table1", "table2", "table3"):

@@ -44,8 +44,16 @@ def compile_network(
     net: Network,
     config: HardwareConfig,
     options: CompileOptions | None = None,
+    verify: bool = False,
 ) -> Loadable:
-    """Compile ``net`` for ``config``; returns a deployable loadable."""
+    """Compile ``net`` for ``config``; returns a deployable loadable.
+
+    ``verify=True`` runs the :mod:`repro.analyze` static checker over
+    the produced loadable and raises
+    :class:`~repro.errors.StaticAnalysisError` on any ERROR finding.
+    It is a keyword, not a :class:`CompileOptions` field, so verified
+    and unverified compiles share cache keys and fingerprints.
+    """
     options = options or CompileOptions()
     precision = options.precision
     if not config.supports(precision):
@@ -69,7 +77,7 @@ def compile_network(
         base=options.memory_base,
         dram_size=options.dram_size,
     )
-    return Loadable(
+    loadable = Loadable(
         network=net.name,
         config=config.name,
         precision=precision,
@@ -78,3 +86,10 @@ def compile_network(
         memory_map=memory_map,
         tiling_summary=summarize(tiling),
     )
+    if verify:
+        # Imported here: repro.analyze pulls in repro.nvdla, which
+        # cannot be resolved while this package is mid-import.
+        from repro.analyze import analyze_loadable
+
+        analyze_loadable(loadable, config).raise_for_errors()
+    return loadable

@@ -116,6 +116,32 @@ class StoreIntegrityError(StoreError):
         self.path = path
 
 
+class AnalysisError(ReproError):
+    """The static analyzer could not analyze an artifact at all.
+
+    Raised for *analyzer-side* failures — an op kind it cannot model, a
+    loadable it cannot walk — as opposed to findings *about* the
+    artifact, which travel as diagnostics inside an
+    :class:`StaticAnalysisError` / analysis report.
+    """
+
+
+class StaticAnalysisError(AnalysisError):
+    """A verified artifact failed static analysis.
+
+    The machine-readable findings ride along in ``diagnostics`` (a list
+    of :class:`repro.analyze.diagnostics.Diagnostic`); the message
+    carries a human-readable summary.  Modeled on
+    :class:`StoreIntegrityError`: callers that opted into verification
+    (``--verify``, ``store verify --static``) catch this one type and
+    can render or serialize the findings without string parsing.
+    """
+
+    def __init__(self, message: str, diagnostics: list | None = None) -> None:
+        super().__init__(message)
+        self.diagnostics = list(diagnostics or [])
+
+
 class CodegenError(ReproError):
     """Bare-metal code generation failed."""
 

@@ -1,0 +1,308 @@
+"""Pure descriptor-chain construction for NVDLA hardware layers.
+
+The user-mode driver (:mod:`repro.vp.runtime`) used to compute its CSB
+register sequence inline while writing it to the bus, which meant the
+only way to know what a compiled op *programs* was to execute it.  This
+module extracts that logic into a pure function: :func:`program_op`
+turns one scheduled :class:`~repro.compiler.ops.HwOp` into a
+:class:`LayerChain` — the exact ordered sequence of shadow-group
+selects, descriptor-register writes, and ``D_OP_ENABLE`` kicks the
+runtime performs.
+
+Two consumers share it:
+
+- the runtime replays the events through the CSB (so traces, and the
+  golden bare-metal configs derived from them, are byte-for-byte what
+  they were when the logic lived inline), and
+- the static analyzer (:mod:`repro.analyze`) applies the same events to
+  fresh register blocks and parses typed descriptors out of them
+  without ever touching an ISS, a bus, or an engine.
+
+Event order is load-bearing: the golden-config regression fixtures pin
+the byte-exact CSB sequence, so any reordering here is a deliberate,
+fixture-updating change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.compiler.loadable import Loadable
+from repro.compiler.ops import (
+    ConvOp,
+    CpuSoftmaxOp,
+    EltwiseOpKind,
+    HwOp,
+    LrnOp,
+    PoolOp,
+    SdpOp,
+    TensorRef,
+)
+from repro.nvdla.cbuf import Cbuf
+from repro.nvdla.config import HardwareConfig, Precision
+from repro.nvdla.descriptors import f32_to_bits
+from repro.nvdla.layout import feature_strides
+
+ELTWISE_CODE = {EltwiseOpKind.ADD: 1, EltwiseOpKind.MUL: 2, EltwiseOpKind.MAX: 3}
+POOL_CODE = {"max": 0, "avg": 1}
+
+SELECT = "select"
+WRITE = "write"
+ENABLE = "enable"
+
+
+@dataclass(frozen=True)
+class ChainEvent:
+    """One CSB-visible step of programming a hardware layer.
+
+    ``kind`` is one of :data:`SELECT` (write ``S_POINTER`` = ``value``),
+    :data:`WRITE` (write descriptor register ``register`` = ``value``)
+    or :data:`ENABLE` (write ``D_OP_ENABLE`` = 1).  ``register`` is
+    empty for selects and enables.
+    """
+
+    kind: str
+    unit: str
+    register: str = ""
+    value: int = 0
+
+
+@dataclass
+class LayerChain:
+    """The full descriptor chain for one scheduled hardware op."""
+
+    op_index: int
+    op_name: str
+    op_kind: str
+    group: int
+    sink: str
+    events: list[ChainEvent] = field(default_factory=list)
+
+    def writes(self) -> list[ChainEvent]:
+        return [e for e in self.events if e.kind == WRITE]
+
+
+class _ChainBuilder:
+    """Accumulates events in exactly the runtime's historical order."""
+
+    def __init__(self, config: HardwareConfig) -> None:
+        self.config = config
+        self.events: list[ChainEvent] = []
+
+    def select(self, unit: str, group: int) -> None:
+        self.events.append(ChainEvent(SELECT, unit, value=group))
+
+    def write(self, unit: str, register: str, value: int) -> None:
+        self.events.append(ChainEvent(WRITE, unit, register, value & 0xFFFFFFFF))
+
+    def enable(self, unit: str) -> None:
+        self.events.append(ChainEvent(ENABLE, unit, value=1))
+
+    def write_tensor(self, unit: str, prefix: str, ref: TensorRef) -> None:
+        atom = self.config.atom_channels(ref.precision)
+        c, h, w = ref.shape
+        line, surf = feature_strides((c, h, w), atom, ref.precision)
+        address = ref.require_address()
+        self.write(unit, f"{prefix}_ADDR_HIGH", address >> 32)
+        self.write(unit, f"{prefix}_ADDR_LOW", address & 0xFFFFFFFF)
+        self.write(unit, f"{prefix}_WIDTH", w)
+        self.write(unit, f"{prefix}_HEIGHT", h)
+        self.write(unit, f"{prefix}_CHANNEL", c)
+        self.write(unit, f"{prefix}_LINE_STRIDE", line)
+        self.write(unit, f"{prefix}_SURF_STRIDE", surf)
+
+
+def _precision_code(precision: Precision) -> int:
+    return 0 if precision is Precision.INT8 else 1
+
+
+def _sdp_stage(b: _ChainBuilder, op: ConvOp | SdpOp, bias: bool) -> None:
+    """Common SDP core registers (fused conv or standalone)."""
+    out = op.output
+    b.write("SDP", "D_MISC_CFG", _precision_code(op.precision))
+    b.write("SDP", "D_DATA_CUBE_WIDTH", out.shape[2])
+    b.write("SDP", "D_DATA_CUBE_HEIGHT", out.shape[1])
+    b.write("SDP", "D_DATA_CUBE_CHANNEL", out.shape[0])
+    b.write_tensor("SDP", "D_DST", out)
+    b.write("SDP", "D_DP_BS_CFG", 1 if bias else 0)
+    b.write("SDP", "D_DP_BN_CFG", 0)
+    eltwise = getattr(op, "eltwise", None)
+    b.write("SDP", "D_DP_EW_CFG", 0 if eltwise is None else ELTWISE_CODE[eltwise])
+    b.write("SDP", "D_EW_CVT_MULT", getattr(op, "ew_cvt_mult", 1))
+    b.write("SDP", "D_EW_CVT_SHIFT", getattr(op, "ew_cvt_shift", 0))
+    b.write("SDP", "D_ACT_CFG", 1 if op.relu else 0)
+    b.write("SDP", "D_CVT_MULT", op.cvt_mult)
+    b.write("SDP", "D_CVT_SHIFT", op.cvt_shift)
+    b.write("SDP", "D_OUT_PRECISION", _precision_code(out.precision))
+
+
+def _program_conv(b: _ChainBuilder, op: ConvOp, group: int, weight_base: int) -> str:
+    prec = _precision_code(op.precision)
+    k, c, r, s = op.kernel_shape
+    _, out_h, out_w = op.output.shape
+    weight_address = weight_base + (op.weight_offset or 0)
+    pad_top, pad_bottom, pad_left, pad_right = op.pad
+    conv_units = ("CACC", "CMAC_A", "CMAC_B", "CSC", "CDMA", "SDP_RDMA", "SDP")
+    for unit in conv_units:
+        b.select(unit, group)
+
+    b.write("CDMA", "D_MISC_CFG", prec)
+    b.write_tensor("CDMA", "D_DAIN", op.input)
+    b.write("CDMA", "D_WEIGHT_ADDR_HIGH", weight_address >> 32)
+    b.write("CDMA", "D_WEIGHT_ADDR_LOW", weight_address & 0xFFFFFFFF)
+    b.write("CDMA", "D_WEIGHT_BYTES", op.weight_bytes or 0)
+    b.write("CDMA", "D_CONV_STRIDE_X", op.stride[1])
+    b.write("CDMA", "D_CONV_STRIDE_Y", op.stride[0])
+    b.write("CDMA", "D_ZERO_PADDING_LEFT", pad_left)
+    b.write("CDMA", "D_ZERO_PADDING_RIGHT", pad_right)
+    b.write("CDMA", "D_ZERO_PADDING_TOP", pad_top)
+    b.write("CDMA", "D_ZERO_PADDING_BOTTOM", pad_bottom)
+    banks = Cbuf(b.config).default_split(op.weight_bytes or 0)
+    b.write("CDMA", "D_BANK_DATA", banks.data_banks)
+    b.write("CDMA", "D_BANK_WEIGHT", banks.weight_banks)
+
+    b.write("CSC", "D_MISC_CFG", prec)
+    b.write("CSC", "D_WEIGHT_SIZE_K", k)
+    b.write("CSC", "D_WEIGHT_SIZE_C", c)
+    b.write("CSC", "D_WEIGHT_SIZE_R", r)
+    b.write("CSC", "D_WEIGHT_SIZE_S", s)
+    b.write("CSC", "D_DATAOUT_WIDTH", out_w)
+    b.write("CSC", "D_DATAOUT_HEIGHT", out_h)
+
+    b.write("CMAC_A", "D_MISC_CFG", prec)
+    b.write("CMAC_B", "D_MISC_CFG", prec)
+
+    b.write("CACC", "D_MISC_CFG", prec)
+    b.write("CACC", "D_DATAOUT_WIDTH", out_w)
+    b.write("CACC", "D_DATAOUT_HEIGHT", out_h)
+    b.write("CACC", "D_DATAOUT_CHANNEL", k)
+
+    b.write("SDP_RDMA", "D_FEATURE_MODE_CFG", 0)  # flying from CACC
+    if op.bias_offset is not None:
+        bias_address = weight_base + op.bias_offset
+        b.write("SDP_RDMA", "D_BRDMA_CFG", 1)
+        b.write("SDP_RDMA", "D_BS_BASE_ADDR_HIGH", bias_address >> 32)
+        b.write("SDP_RDMA", "D_BS_BASE_ADDR_LOW", bias_address & 0xFFFFFFFF)
+    else:
+        b.write("SDP_RDMA", "D_BRDMA_CFG", 0)
+    b.write("SDP_RDMA", "D_NRDMA_CFG", 0)
+    if op.eltwise_input is not None:  # fused residual add (FP16)
+        b.write("SDP_RDMA", "D_ERDMA_CFG", 1)
+        b.write_tensor("SDP_RDMA", "D_EW", op.eltwise_input)
+    else:
+        b.write("SDP_RDMA", "D_ERDMA_CFG", 0)
+
+    _sdp_stage(b, op, bias=op.bias_offset is not None)
+
+    # SDP_RDMA only carries the BRDMA configuration here; in flying
+    # mode its DMA block is not part of the launched group, so it is
+    # not enabled (enabling it would leave a group pending forever).
+    for unit in ("CACC", "CMAC_A", "CMAC_B", "CSC", "CDMA"):
+        b.enable(unit)
+    b.enable("SDP")
+    return "SDP"
+
+
+def _program_sdp(b: _ChainBuilder, op: SdpOp, group: int) -> str:
+    for unit in ("SDP_RDMA", "SDP"):
+        b.select(unit, group)
+    b.write("SDP_RDMA", "D_FEATURE_MODE_CFG", 1)  # memory source
+    b.write_tensor("SDP_RDMA", "D_SRC", op.input)
+    b.write("SDP_RDMA", "D_BRDMA_CFG", 0)
+    b.write("SDP_RDMA", "D_NRDMA_CFG", 0)
+    if op.eltwise_input is not None:
+        b.write("SDP_RDMA", "D_ERDMA_CFG", 1)
+        b.write_tensor("SDP_RDMA", "D_EW", op.eltwise_input)
+    else:
+        b.write("SDP_RDMA", "D_ERDMA_CFG", 0)
+    _sdp_stage(b, op, bias=False)
+    b.enable("SDP_RDMA")
+    b.enable("SDP")
+    return "SDP"
+
+
+def _program_pool(b: _ChainBuilder, op: PoolOp, group: int) -> str:
+    for unit in ("PDP_RDMA", "PDP"):
+        b.select(unit, group)
+    b.write_tensor("PDP_RDMA", "D_SRC", op.input)
+    b.write("PDP", "D_MISC_CFG", _precision_code(op.precision))
+    b.write("PDP", "D_POOLING_METHOD", POOL_CODE[op.mode])
+    b.write("PDP", "D_POOLING_KERNEL_WIDTH", op.kernel[1])
+    b.write("PDP", "D_POOLING_KERNEL_HEIGHT", op.kernel[0])
+    b.write("PDP", "D_POOLING_STRIDE_X", op.stride[1])
+    b.write("PDP", "D_POOLING_STRIDE_Y", op.stride[0])
+    pad_top, pad_bottom, pad_left, pad_right = op.pad
+    b.write("PDP", "D_POOLING_PAD_LEFT", pad_left)
+    b.write("PDP", "D_POOLING_PAD_RIGHT", pad_right)
+    b.write("PDP", "D_POOLING_PAD_TOP", pad_top)
+    b.write("PDP", "D_POOLING_PAD_BOTTOM", pad_bottom)
+    b.write_tensor("PDP", "D_DST", op.output)
+    b.enable("PDP_RDMA")
+    b.enable("PDP")
+    return "PDP"
+
+
+def _program_lrn(b: _ChainBuilder, op: LrnOp, group: int) -> str:
+    for unit in ("CDP_RDMA", "CDP"):
+        b.select(unit, group)
+    b.write_tensor("CDP_RDMA", "D_SRC", op.input)
+    b.write("CDP", "D_MISC_CFG", _precision_code(op.precision))
+    b.write("CDP", "D_LRN_LOCAL_SIZE", op.local_size)
+    b.write("CDP", "D_LRN_ALPHA", f32_to_bits(op.alpha))
+    b.write("CDP", "D_LRN_BETA", f32_to_bits(op.beta))
+    b.write("CDP", "D_LRN_K", f32_to_bits(op.k))
+    b.write_tensor("CDP", "D_DST", op.output)
+    b.enable("CDP_RDMA")
+    b.enable("CDP")
+    return "CDP"
+
+
+def program_op(
+    op: HwOp,
+    config: HardwareConfig,
+    weight_base: int,
+    group: int,
+    op_index: int = 0,
+) -> LayerChain:
+    """Build the descriptor chain for one hardware op.
+
+    Raises :class:`~repro.errors.ConfigurationError` for op kinds the
+    driver cannot program (host-side ops never reach here).
+    """
+    b = _ChainBuilder(config)
+    if isinstance(op, ConvOp):
+        sink = _program_conv(b, op, group, weight_base)
+    elif isinstance(op, SdpOp):
+        sink = _program_sdp(b, op, group)
+    elif isinstance(op, PoolOp):
+        sink = _program_pool(b, op, group)
+    elif isinstance(op, LrnOp):
+        sink = _program_lrn(b, op, group)
+    else:
+        raise ConfigurationError(f"cannot program op kind {op.kind!r}")
+    return LayerChain(
+        op_index=op_index,
+        op_name=op.name,
+        op_kind=op.kind,
+        group=group,
+        sink=sink,
+        events=b.events,
+    )
+
+
+def build_chains(
+    loadable: Loadable,
+    config: HardwareConfig,
+    first_group: int = 0,
+) -> list[LayerChain]:
+    """Descriptor chains for every hardware op of a loadable, in
+    schedule order, alternating ping-pong groups like the runtime."""
+    chains: list[LayerChain] = []
+    group = first_group
+    for index, op in enumerate(loadable.schedule.ops):
+        if isinstance(op, CpuSoftmaxOp):
+            continue
+        chains.append(program_op(op, config, loadable.weight_base, group, op_index=index))
+        group ^= 1
+    return chains

@@ -59,6 +59,113 @@ D_OP_ENABLE = 0x008
 FIRST_DESCRIPTOR_OFFSET = 0x00C
 
 
+@dataclass(frozen=True)
+class FieldSpec:
+    """Legality metadata for one descriptor register's value.
+
+    Our register files dedicate a full 32-bit word to each logical
+    field, so the hardware's bit-packing constraints survive only as
+    metadata: ``width`` bounds the value to ``[0, 2**width)`` and
+    ``enum``, when present, restricts it to an explicit set of codes.
+    The static analyzer's register-legality pass checks every chain
+    write against this table; widths are sized to the NVDLA manual's
+    field widths (generous where our word-per-field encoding has no
+    exact counterpart).
+    """
+
+    width: int = 32
+    enum: tuple[int, ...] | None = None
+
+    def check(self, value: int) -> str | None:
+        """Reason the value is illegal, or ``None`` when it is fine."""
+        if self.enum is not None:
+            if value not in self.enum:
+                allowed = ",".join(str(v) for v in self.enum)
+                return f"value {value} not in enum {{{allowed}}}"
+            return None
+        if not 0 <= value < (1 << self.width):
+            return f"value 0x{value:x} exceeds {self.width}-bit field"
+        return None
+
+
+_DEFAULT_FIELD = FieldSpec()
+
+# Exact-name field table (precision/config codes, converter constants,
+# geometry fields whose hardware counterparts are narrow).
+_EXACT_FIELDS: dict[str, FieldSpec] = {
+    "D_MISC_CFG": FieldSpec(enum=(0, 1)),  # precision code
+    "D_OUT_PRECISION": FieldSpec(enum=(0, 1)),
+    "D_FEATURE_MODE_CFG": FieldSpec(width=1),
+    "D_BRDMA_CFG": FieldSpec(width=1),
+    "D_NRDMA_CFG": FieldSpec(width=1),
+    "D_ERDMA_CFG": FieldSpec(width=1),
+    "D_DP_BS_CFG": FieldSpec(width=1),
+    "D_DP_BN_CFG": FieldSpec(width=1),
+    "D_ACT_CFG": FieldSpec(width=1),
+    "D_DP_EW_CFG": FieldSpec(enum=(0, 1, 2, 3)),  # EltwiseOp code
+    "D_POOLING_METHOD": FieldSpec(enum=(0, 1, 2)),  # PoolMode code
+    "D_LRN_LOCAL_SIZE": FieldSpec(enum=(1, 3, 5, 7, 9)),
+    "D_CVT_MULT": FieldSpec(width=16),
+    "D_EW_CVT_MULT": FieldSpec(width=16),
+    "D_CVT_SHIFT": FieldSpec(width=6),
+    "D_EW_CVT_SHIFT": FieldSpec(width=6),
+    "D_CONV_STRIDE_X": FieldSpec(width=4),
+    "D_CONV_STRIDE_Y": FieldSpec(width=4),
+    "D_POOLING_STRIDE_X": FieldSpec(width=4),
+    "D_POOLING_STRIDE_Y": FieldSpec(width=4),
+    "D_POOLING_KERNEL_WIDTH": FieldSpec(width=4),
+    "D_POOLING_KERNEL_HEIGHT": FieldSpec(width=4),
+    "D_ZERO_PADDING_LEFT": FieldSpec(width=5),
+    "D_ZERO_PADDING_RIGHT": FieldSpec(width=5),
+    "D_ZERO_PADDING_TOP": FieldSpec(width=5),
+    "D_ZERO_PADDING_BOTTOM": FieldSpec(width=5),
+    "D_POOLING_PAD_LEFT": FieldSpec(width=5),
+    "D_POOLING_PAD_RIGHT": FieldSpec(width=5),
+    "D_POOLING_PAD_TOP": FieldSpec(width=5),
+    "D_POOLING_PAD_BOTTOM": FieldSpec(width=5),
+    "D_WEIGHT_SIZE_K": FieldSpec(width=13),
+    "D_WEIGHT_SIZE_C": FieldSpec(width=13),
+    "D_WEIGHT_SIZE_R": FieldSpec(width=5),
+    "D_WEIGHT_SIZE_S": FieldSpec(width=5),
+    "D_BANK_DATA": FieldSpec(width=6),
+    "D_BANK_WEIGHT": FieldSpec(width=6),
+}
+
+# Suffix table for the tensor-surface register families
+# (<prefix>_ADDR_HIGH/.../_SURF_STRIDE) and cube-size registers.
+_SUFFIX_FIELDS: tuple[tuple[str, FieldSpec], ...] = (
+    ("_WIDTH", FieldSpec(width=13)),
+    ("_HEIGHT", FieldSpec(width=13)),
+    ("_CHANNEL", FieldSpec(width=13)),
+    ("_LINE_STRIDE", FieldSpec(width=28)),
+    ("_SURF_STRIDE", FieldSpec(width=28)),
+    ("_ADDR_HIGH", FieldSpec(width=32)),
+    ("_ADDR_LOW", FieldSpec(width=32)),
+)
+
+
+def field_spec(register: str) -> FieldSpec:
+    """Legality spec for a descriptor register, by name.
+
+    Field semantics are uniform across units (every ``D_MISC_CFG`` is a
+    precision code, every ``*_WIDTH`` a cube width), so lookup is
+    name-based: exact names first, then the tensor-family suffixes,
+    falling back to a full 32-bit field.
+    """
+    spec = _EXACT_FIELDS.get(register)
+    if spec is not None:
+        return spec
+    for suffix, suffix_spec in _SUFFIX_FIELDS:
+        if register.endswith(suffix):
+            return suffix_spec
+    return _DEFAULT_FIELD
+
+
+def check_field(register: str, value: int) -> str | None:
+    """Reason ``register = value`` is illegal, or ``None`` if legal."""
+    return field_spec(register).check(value)
+
+
 class RegisterBlock:
     """A unit's register file with dual shadow groups.
 

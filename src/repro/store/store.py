@@ -390,8 +390,13 @@ class BundleStore:
     def __len__(self) -> int:
         return sum(1 for _ in (self.root / "refs").glob("*.json"))
 
-    def verify(self) -> VerifyReport:
-        """Deep-check every ref and object; report, don't raise."""
+    def verify(self, static: bool = False) -> VerifyReport:
+        """Deep-check every ref and object; report, don't raise.
+
+        ``static=True`` additionally runs the :mod:`repro.analyze`
+        descriptor-chain verifier over each deserialized artifact, so a
+        bit-exact but *miscompiled* object is flagged too.
+        """
         report = VerifyReport()
         referenced: set[str] = set()
         for path in sorted((self.root / "refs").glob("*.json")):
@@ -402,7 +407,9 @@ class BundleStore:
                 referenced.add(ref["object"])
                 blob = self._read_object(ref, path.stem)
                 if ref.get("kind") == LOADABLE_KIND:
-                    deserialize_loadable(blob)
+                    loadable = deserialize_loadable(blob)
+                    if static:
+                        self._verify_static(loadable, path)
                 else:
                     bundle = deserialize_bundle(blob)
                     recorded = ref.get("artifact_digest")
@@ -410,6 +417,8 @@ class BundleStore:
                         raise StoreIntegrityError(
                             "artifact digest disagrees with ref", path=str(path)
                         )
+                    if static:
+                        self._verify_static(bundle.loadable, path)
             except StoreIntegrityError as exc:
                 report.problems.append((str(path), str(exc)))
             else:
@@ -419,6 +428,21 @@ class BundleStore:
                 report.checked += 1
                 report.problems.append((str(object_path), "unreferenced object"))
         return report
+
+    @staticmethod
+    def _verify_static(loadable, path: Path) -> None:
+        """Run the descriptor-chain analyzer; fold errors into the sweep."""
+        from repro.analyze import analyze_loadable
+
+        analysis = analyze_loadable(loadable, artifact=path.stem)
+        if not analysis.clean:
+            errors = analysis.errors
+            head = "; ".join(d.render() for d in errors[:3])
+            more = f" (+{len(errors) - 3} more)" if len(errors) > 3 else ""
+            raise StoreIntegrityError(
+                f"static analysis found {len(errors)} error(s): {head}{more}",
+                path=str(path),
+            )
 
     def _drop_if_unreferenced(self, digest: str) -> None:
         if any(ref["object"] == digest for _, ref in self._refs()):

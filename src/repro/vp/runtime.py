@@ -19,17 +19,14 @@ import numpy as np
 
 from repro.errors import TraceError
 from repro.compiler.loadable import Loadable
-from repro.compiler.ops import ConvOp, CpuSoftmaxOp, EltwiseOpKind, LrnOp, PoolOp, SdpOp, TensorRef
+from repro.compiler.ops import CpuSoftmaxOp
 from repro.nvdla.csb import UNIT_BASES, register_address
-from repro.nvdla.descriptors import f32_to_bits
 from repro.nvdla.config import Precision
-from repro.nvdla.layout import feature_strides, pack_feature, unpack_feature
+from repro.nvdla.layout import pack_feature, unpack_feature
+from repro.nvdla.programming import ENABLE, SELECT, LayerChain, program_op
 from repro.nvdla.registers import D_OP_ENABLE, S_POINTER
 from repro.nvdla.units.glb import INTR_STATUS, interrupt_bit
 from repro.vp.platform import VirtualPlatform
-
-_ELTWISE_CODE = {EltwiseOpKind.ADD: 1, EltwiseOpKind.MUL: 2, EltwiseOpKind.MAX: 3}
-_POOL_CODE = {"max": 0, "avg": 1}
 
 
 @dataclass
@@ -90,23 +87,17 @@ class NvdlaRuntime:
         start_csb = len(self.platform.trace.csb) if self.platform.trace else 0
         op_cycles: dict[str, int] = {}
         hw_ops = 0
-        for op in loadable.schedule.ops:
+        for index, op in enumerate(loadable.schedule.ops):
             if isinstance(op, CpuSoftmaxOp):
                 continue
             began = self.platform.clock.now
             group = self._group
             self._group ^= 1
-            if isinstance(op, ConvOp):
-                sink = self._program_conv(op, group)
-            elif isinstance(op, SdpOp):
-                sink = self._program_sdp(op, group)
-            elif isinstance(op, PoolOp):
-                sink = self._program_pool(op, group)
-            elif isinstance(op, LrnOp):
-                sink = self._program_lrn(op, group)
-            else:
-                raise TraceError(f"runtime cannot program op kind {op.kind!r}")
-            self._await_completion(sink, group)
+            chain = program_op(
+                op, self.platform.config, loadable.weight_base, group, op_index=index
+            )
+            self._replay(chain)
+            self._await_completion(chain.sink, group)
             op_cycles[op.name] = self.platform.clock.now - began
             hw_ops += 1
 
@@ -146,158 +137,20 @@ class NvdlaRuntime:
     def _enable(self, unit: str) -> None:
         self.platform.csb_write(register_address(unit, D_OP_ENABLE), 1)
 
-    def _write_tensor(self, unit: str, prefix: str, ref: TensorRef) -> None:
-        atom = self.platform.config.atom_channels(ref.precision)
-        c, h, w = ref.shape
-        line, surf = feature_strides((c, h, w), atom, ref.precision)
-        address = ref.require_address()
-        self._write(unit, f"{prefix}_ADDR_HIGH", address >> 32)
-        self._write(unit, f"{prefix}_ADDR_LOW", address & 0xFFFFFFFF)
-        self._write(unit, f"{prefix}_WIDTH", w)
-        self._write(unit, f"{prefix}_HEIGHT", h)
-        self._write(unit, f"{prefix}_CHANNEL", c)
-        self._write(unit, f"{prefix}_LINE_STRIDE", line)
-        self._write(unit, f"{prefix}_SURF_STRIDE", surf)
+    def _replay(self, chain: LayerChain) -> None:
+        """Issue a descriptor chain to the hardware, event by event.
 
-    def _precision_code(self, precision: Precision) -> int:
-        return 0 if precision is Precision.INT8 else 1
-
-    def _program_conv(self, op: ConvOp, group: int) -> str:
-        loadable = self._require_loadable()
-        prec = self._precision_code(op.precision)
-        k, c, r, s = op.kernel_shape
-        _, out_h, out_w = op.output.shape
-        weight_address = loadable.weight_base + (op.weight_offset or 0)
-        pad_top, pad_bottom, pad_left, pad_right = op.pad
-        conv_units = ("CACC", "CMAC_A", "CMAC_B", "CSC", "CDMA", "SDP_RDMA", "SDP")
-        for unit in conv_units:
-            self._select_group(unit, group)
-
-        self._write("CDMA", "D_MISC_CFG", prec)
-        self._write_tensor("CDMA", "D_DAIN", op.input)
-        self._write("CDMA", "D_WEIGHT_ADDR_HIGH", weight_address >> 32)
-        self._write("CDMA", "D_WEIGHT_ADDR_LOW", weight_address & 0xFFFFFFFF)
-        self._write("CDMA", "D_WEIGHT_BYTES", op.weight_bytes or 0)
-        self._write("CDMA", "D_CONV_STRIDE_X", op.stride[1])
-        self._write("CDMA", "D_CONV_STRIDE_Y", op.stride[0])
-        self._write("CDMA", "D_ZERO_PADDING_LEFT", pad_left)
-        self._write("CDMA", "D_ZERO_PADDING_RIGHT", pad_right)
-        self._write("CDMA", "D_ZERO_PADDING_TOP", pad_top)
-        self._write("CDMA", "D_ZERO_PADDING_BOTTOM", pad_bottom)
-        banks = self.platform.engine.cbuf.default_split(op.weight_bytes or 0)
-        self._write("CDMA", "D_BANK_DATA", banks.data_banks)
-        self._write("CDMA", "D_BANK_WEIGHT", banks.weight_banks)
-
-        self._write("CSC", "D_MISC_CFG", prec)
-        self._write("CSC", "D_WEIGHT_SIZE_K", k)
-        self._write("CSC", "D_WEIGHT_SIZE_C", c)
-        self._write("CSC", "D_WEIGHT_SIZE_R", r)
-        self._write("CSC", "D_WEIGHT_SIZE_S", s)
-        self._write("CSC", "D_DATAOUT_WIDTH", out_w)
-        self._write("CSC", "D_DATAOUT_HEIGHT", out_h)
-
-        self._write("CMAC_A", "D_MISC_CFG", prec)
-        self._write("CMAC_B", "D_MISC_CFG", prec)
-
-        self._write("CACC", "D_MISC_CFG", prec)
-        self._write("CACC", "D_DATAOUT_WIDTH", out_w)
-        self._write("CACC", "D_DATAOUT_HEIGHT", out_h)
-        self._write("CACC", "D_DATAOUT_CHANNEL", k)
-
-        self._write("SDP_RDMA", "D_FEATURE_MODE_CFG", 0)  # flying from CACC
-        if op.bias_offset is not None:
-            bias_address = loadable.weight_base + op.bias_offset
-            self._write("SDP_RDMA", "D_BRDMA_CFG", 1)
-            self._write("SDP_RDMA", "D_BS_BASE_ADDR_HIGH", bias_address >> 32)
-            self._write("SDP_RDMA", "D_BS_BASE_ADDR_LOW", bias_address & 0xFFFFFFFF)
-        else:
-            self._write("SDP_RDMA", "D_BRDMA_CFG", 0)
-        self._write("SDP_RDMA", "D_NRDMA_CFG", 0)
-        if op.eltwise_input is not None:  # fused residual add (FP16)
-            self._write("SDP_RDMA", "D_ERDMA_CFG", 1)
-            self._write_tensor("SDP_RDMA", "D_EW", op.eltwise_input)
-        else:
-            self._write("SDP_RDMA", "D_ERDMA_CFG", 0)
-
-        self._program_sdp_stage(op, group, bias=op.bias_offset is not None)
-
-        # SDP_RDMA only carries the BRDMA configuration here; in flying
-        # mode its DMA block is not part of the launched group, so it is
-        # not enabled (enabling it would leave a group pending forever).
-        for unit in ("CACC", "CMAC_A", "CMAC_B", "CSC", "CDMA"):
-            self._enable(unit)
-        self._enable("SDP")
-        return "SDP"
-
-    def _program_sdp_stage(self, op, group: int, bias: bool) -> None:
-        """Common SDP core registers (fused conv or standalone)."""
-        out = op.output
-        self._write("SDP", "D_MISC_CFG", self._precision_code(op.precision))
-        self._write("SDP", "D_DATA_CUBE_WIDTH", out.shape[2])
-        self._write("SDP", "D_DATA_CUBE_HEIGHT", out.shape[1])
-        self._write("SDP", "D_DATA_CUBE_CHANNEL", out.shape[0])
-        self._write_tensor("SDP", "D_DST", out)
-        self._write("SDP", "D_DP_BS_CFG", 1 if bias else 0)
-        self._write("SDP", "D_DP_BN_CFG", 0)
-        eltwise = getattr(op, "eltwise", None)
-        self._write("SDP", "D_DP_EW_CFG", 0 if eltwise is None else _ELTWISE_CODE[eltwise])
-        self._write("SDP", "D_EW_CVT_MULT", getattr(op, "ew_cvt_mult", 1))
-        self._write("SDP", "D_EW_CVT_SHIFT", getattr(op, "ew_cvt_shift", 0))
-        self._write("SDP", "D_ACT_CFG", 1 if op.relu else 0)
-        self._write("SDP", "D_CVT_MULT", op.cvt_mult)
-        self._write("SDP", "D_CVT_SHIFT", op.cvt_shift)
-        self._write("SDP", "D_OUT_PRECISION", self._precision_code(out.precision))
-
-    def _program_sdp(self, op: SdpOp, group: int) -> str:
-        for unit in ("SDP_RDMA", "SDP"):
-            self._select_group(unit, group)
-        self._write("SDP_RDMA", "D_FEATURE_MODE_CFG", 1)  # memory source
-        self._write_tensor("SDP_RDMA", "D_SRC", op.input)
-        self._write("SDP_RDMA", "D_BRDMA_CFG", 0)
-        self._write("SDP_RDMA", "D_NRDMA_CFG", 0)
-        if op.eltwise_input is not None:
-            self._write("SDP_RDMA", "D_ERDMA_CFG", 1)
-            self._write_tensor("SDP_RDMA", "D_EW", op.eltwise_input)
-        else:
-            self._write("SDP_RDMA", "D_ERDMA_CFG", 0)
-        self._program_sdp_stage(op, group, bias=False)
-        self._enable("SDP_RDMA")
-        self._enable("SDP")
-        return "SDP"
-
-    def _program_pool(self, op: PoolOp, group: int) -> str:
-        for unit in ("PDP_RDMA", "PDP"):
-            self._select_group(unit, group)
-        self._write_tensor("PDP_RDMA", "D_SRC", op.input)
-        self._write("PDP", "D_MISC_CFG", self._precision_code(op.precision))
-        self._write("PDP", "D_POOLING_METHOD", _POOL_CODE[op.mode])
-        self._write("PDP", "D_POOLING_KERNEL_WIDTH", op.kernel[1])
-        self._write("PDP", "D_POOLING_KERNEL_HEIGHT", op.kernel[0])
-        self._write("PDP", "D_POOLING_STRIDE_X", op.stride[1])
-        self._write("PDP", "D_POOLING_STRIDE_Y", op.stride[0])
-        pad_top, pad_bottom, pad_left, pad_right = op.pad
-        self._write("PDP", "D_POOLING_PAD_LEFT", pad_left)
-        self._write("PDP", "D_POOLING_PAD_RIGHT", pad_right)
-        self._write("PDP", "D_POOLING_PAD_TOP", pad_top)
-        self._write("PDP", "D_POOLING_PAD_BOTTOM", pad_bottom)
-        self._write_tensor("PDP", "D_DST", op.output)
-        self._enable("PDP_RDMA")
-        self._enable("PDP")
-        return "PDP"
-
-    def _program_lrn(self, op: LrnOp, group: int) -> str:
-        for unit in ("CDP_RDMA", "CDP"):
-            self._select_group(unit, group)
-        self._write_tensor("CDP_RDMA", "D_SRC", op.input)
-        self._write("CDP", "D_MISC_CFG", self._precision_code(op.precision))
-        self._write("CDP", "D_LRN_LOCAL_SIZE", op.local_size)
-        self._write("CDP", "D_LRN_ALPHA", f32_to_bits(op.alpha))
-        self._write("CDP", "D_LRN_BETA", f32_to_bits(op.beta))
-        self._write("CDP", "D_LRN_K", f32_to_bits(op.k))
-        self._write_tensor("CDP", "D_DST", op.output)
-        self._enable("CDP_RDMA")
-        self._enable("CDP")
-        return "CDP"
+        The chain comes from :func:`repro.nvdla.programming.program_op`
+        — the same pure builder the static analyzer consumes — so the
+        CSB trace is exactly the sequence that module constructs.
+        """
+        for event in chain.events:
+            if event.kind == SELECT:
+                self._select_group(event.unit, event.value)
+            elif event.kind == ENABLE:
+                self._enable(event.unit)
+            else:
+                self._write(event.unit, event.register, event.value)
 
     # ------------------------------------------------------------------
     # Completion.

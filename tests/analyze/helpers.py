@@ -1,0 +1,26 @@
+"""Shared chain-mutation helpers for the analyzer tests."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from repro.nvdla.programming import WRITE, LayerChain
+
+
+def rewrite_first_write(
+    chains: list[LayerChain], unit: str, register: str, fn: Callable[[int], int]
+) -> list[LayerChain]:
+    """Apply ``fn`` to the first matching descriptor write, in place."""
+    for chain in chains:
+        for index, event in enumerate(chain.events):
+            if event.kind == WRITE and event.unit == unit and event.register == register:
+                chain.events[index] = replace(event, value=fn(event.value) & 0xFFFFFFFF)
+                return chains
+    raise AssertionError(f"no {unit}.{register} write found to mutate")
+
+
+def shift_first_write(
+    chains: list[LayerChain], unit: str, register: str, delta: int
+) -> list[LayerChain]:
+    return rewrite_first_write(chains, unit, register, lambda v: v + delta)

@@ -1,0 +1,113 @@
+"""Analyzer core: clean reports, serialization, typed failures."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.nn.zoo import ZOO
+from repro.nvdla import NV_SMALL
+from repro.nvdla.programming import build_chains
+from repro.analyze import (
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    analyze_chains,
+    analyze_loadable,
+    pass_ids,
+)
+from repro.compiler import CompileOptions, compile_network
+from repro.errors import AnalysisError, ReproError, StaticAnalysisError
+
+from tests.analyze.helpers import shift_first_write
+
+
+@pytest.fixture(scope="module")
+def lenet_loadable():
+    return compile_network(ZOO["lenet5"](), NV_SMALL, CompileOptions())
+
+
+def test_clean_zoo_model(lenet_loadable):
+    report = analyze_loadable(lenet_loadable, NV_SMALL)
+    assert report.clean
+    assert not report.errors and not report.warnings
+    assert report.chains == len(
+        [op for op in lenet_loadable.schedule.ops if op.kind != "cpusoftmax"]
+    )
+    assert report.surfaces > report.chains  # every layer reads AND writes
+    assert report.passes == pass_ids()
+
+
+def test_compile_verify_kwarg_passes_clean_model():
+    loadable = compile_network(ZOO["lenet5"](), NV_SMALL, CompileOptions(), verify=True)
+    assert loadable.network == "lenet5"
+
+
+def test_pass_selection_runs_subset(lenet_loadable):
+    report = analyze_loadable(lenet_loadable, NV_SMALL, passes=["cbuf"])
+    assert report.passes == ["cbuf"]
+    assert all(d.pass_id in ("cbuf", "chain", "descriptor") for d in report.diagnostics)
+
+
+def test_raise_for_errors_is_typed(lenet_loadable):
+    chains = shift_first_write(
+        build_chains(lenet_loadable, NV_SMALL), "SDP", "D_DST_ADDR_LOW", 0x0400_0000
+    )
+    report = analyze_chains(chains, lenet_loadable, NV_SMALL)
+    assert not report.clean
+    with pytest.raises(StaticAnalysisError) as excinfo:
+        report.raise_for_errors()
+    err = excinfo.value
+    assert isinstance(err, AnalysisError) and isinstance(err, ReproError)
+    assert err.diagnostics and all(isinstance(d, Diagnostic) for d in err.diagnostics)
+    assert "static analysis found" in str(err)
+
+
+def test_report_json_round_trip(lenet_loadable):
+    chains = shift_first_write(
+        build_chains(lenet_loadable, NV_SMALL), "SDP", "D_DST_ADDR_LOW", 0x0400_0000
+    )
+    report = analyze_chains(chains, lenet_loadable, NV_SMALL)
+    payload = json.loads(report.to_json())
+    assert payload["artifact"] == "lenet5/nv_small"
+    assert payload["clean"] is False
+    assert payload["counts"]["error"] == len(report.errors)
+    revived = [Diagnostic.from_dict(d) for d in payload["diagnostics"]]
+    assert revived == report.diagnostics
+
+
+def test_diagnostic_round_trip_and_render():
+    diag = Diagnostic(
+        severity=Severity.ERROR,
+        pass_id="dma-bounds",
+        code="dma-out-of-window",
+        message="read escapes DRAM",
+        layer="conv1",
+        op_index=3,
+        unit="CDMA",
+        register="D_DAIN_ADDR_LOW_0",
+        surface="act:conv1",
+    )
+    assert Diagnostic.from_dict(diag.to_dict()) == diag
+    text = diag.render()
+    assert "error[dma-bounds/dma-out-of-window]" in text
+    assert "conv1" in text and "CDMA" in text
+
+
+def test_bad_op_index_is_reported_not_raised(lenet_loadable):
+    chains = build_chains(lenet_loadable, NV_SMALL)
+    chains[0].op_index = 99
+    report = analyze_chains(chains, lenet_loadable, NV_SMALL)
+    assert any(d.code == "bad-op-index" for d in report.errors)
+
+
+def test_severity_ordering():
+    assert Severity.ERROR.rank < Severity.WARNING.rank < Severity.INFO.rank
+    report = AnalysisReport(artifact="x", config="nv_small")
+    report.add(Diagnostic(severity=Severity.INFO, pass_id="cbuf", code="a", message="i"))
+    report.add(Diagnostic(severity=Severity.ERROR, pass_id="cbuf", code="b", message="e"))
+    assert [d.severity for d in report.sorted_diagnostics()] == [
+        Severity.ERROR, Severity.INFO,
+    ]
+    assert report.clean is False

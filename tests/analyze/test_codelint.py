@@ -1,0 +1,82 @@
+"""Determinism codelint: forbidden calls, allowlists, repo hygiene."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analyze.codelint import (
+    DEFAULT_TARGETS,
+    lint_repo,
+    scan_source,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _codes(source: str, **kw) -> list[str]:
+    return [v.code for v in scan_source(source, **kw)]
+
+
+def test_wall_clock_calls_flagged():
+    assert _codes("import time\nx = time.time()\n") == ["wall-clock"]
+    assert _codes("import time\nx = time.perf_counter_ns()\n") == ["wall-clock"]
+    assert _codes(
+        "from datetime import datetime\nx = datetime.now()\n"
+    ) == ["wall-clock"]
+
+
+def test_unseeded_randomness_flagged():
+    assert _codes("import random\nx = random.random()\n") == ["unseeded-random"]
+    assert _codes("import random\nr = random.Random()\n") == ["unseeded-random"]
+    assert _codes(
+        "import numpy as np\nx = np.random.normal(0, 1)\n"
+    ) == ["unseeded-random"]
+    assert _codes(
+        "from numpy.random import default_rng\nr = default_rng()\n"
+    ) == ["unseeded-random"]
+
+
+def test_seeded_randomness_allowed():
+    assert _codes("import random\nr = random.Random(42)\n") == []
+    assert _codes(
+        "from numpy.random import default_rng\nr = default_rng(7)\n"
+    ) == []
+    assert _codes("import time\nx = time.sleep(1)\n") == []
+
+
+def test_inline_marker_exempts_the_line():
+    source = (
+        "import time\n"
+        "stamp = time.time()  # wall-clock: operator-facing log timestamp\n"
+    )
+    assert _codes(source) == []
+
+
+def test_central_allowlist_exempts_by_path_and_name():
+    source = "import time\nx = time.time()\n"
+    assert _codes(source, path="a.py", allow={"a.py:time.time"}) == []
+    assert _codes(source, path="a.py", allow={"b.py:time.time"}) == ["wall-clock"]
+
+
+def test_syntax_error_is_a_violation_not_a_crash():
+    violations = scan_source("def broken(:\n", path="bad.py")
+    assert [v.code for v in violations] == ["syntax-error"]
+    assert "bad.py" in violations[0].render()
+
+
+def test_violation_render_is_clickable():
+    violation = scan_source("import time\nx = time.time()\n", path="vp/clock.py")[0]
+    assert violation.render().startswith("vp/clock.py:2:")
+    assert "[wall-clock]" in violation.render()
+
+
+def test_repo_virtual_clock_modules_are_clean():
+    """The CI contract: cluster/, vp/ and the scheduler never consult
+    the host wall clock or unseeded RNG state."""
+    violations = lint_repo(REPO_ROOT)
+    assert not violations, "\n".join(v.render() for v in violations)
+
+
+def test_default_targets_exist():
+    for target in DEFAULT_TARGETS:
+        assert (REPO_ROOT / target).exists(), target

@@ -1,0 +1,47 @@
+"""Golden artifacts analyze clean, end to end through the bundle path.
+
+The same two builds the codegen golden fixtures pin (one per hardware
+class) must come out of the full offline flow with a spotless static
+analysis — including the command-stream decode check that only
+:func:`analyze_bundle` runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baremetal import generate_baremetal
+from repro.nn.zoo import lenet5, resnet18_cifar
+from repro.nvdla import NV_FULL, NV_SMALL
+from repro.nvdla.config import Precision
+from repro.analyze import analyze_bundle, pass_ids
+
+CASES = {
+    "lenet5_nv_small": (lenet5, NV_SMALL, Precision.INT8),
+    "resnet18_nv_full": (resnet18_cifar, NV_FULL, Precision.FP16),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(CASES))
+def bundle_case(request):
+    builder, config, precision = CASES[request.param]
+    return generate_baremetal(builder(), config, precision=precision), config
+
+
+def test_golden_bundle_analyzes_clean(bundle_case):
+    bundle, config = bundle_case
+    report = analyze_bundle(bundle, config)
+    assert report.clean, report.render()
+    assert not report.warnings, report.render(verbose=True)
+    assert report.passes == pass_ids() + ["command-stream"]
+    assert report.chains > 0 and report.surfaces > 0
+
+
+def test_verified_flow_builds_golden_bundle():
+    """``verify=True`` through the pipeline neither raises nor alters
+    the artifact."""
+    bundle = generate_baremetal(
+        lenet5(), NV_SMALL, precision=Precision.INT8, verify=True
+    )
+    baseline = generate_baremetal(lenet5(), NV_SMALL, precision=Precision.INT8)
+    assert bundle.artifact_digest() == baseline.artifact_digest()

@@ -1,0 +1,56 @@
+"""Each modeled miscompile class must be caught by its expected pass.
+
+The injected mutations are the benchmark suite's (single source of
+truth in :mod:`benchmarks.bench_analyze`); here each class runs as its
+own test case so a regression names the exact class it dropped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nn.zoo import ZOO
+from repro.nvdla import NV_SMALL
+from repro.nvdla.programming import build_chains
+from repro.analyze import analyze_chains
+from repro.compiler import CompileOptions, compile_network
+
+from benchmarks.bench_analyze import MUTATIONS, mutate_chain_write
+
+
+@pytest.fixture(scope="module")
+def lenet_loadable():
+    return compile_network(ZOO["lenet5"](), NV_SMALL, CompileOptions())
+
+
+@pytest.mark.parametrize("mutation", MUTATIONS, ids=lambda m: m.name)
+def test_mutation_is_detected_by_expected_pass(lenet_loadable, mutation):
+    loadable = lenet_loadable
+    if mutation.swap_schedule:
+        ops = loadable.schedule.ops
+        ops[0], ops[1] = ops[1], ops[0]
+        try:
+            chains = build_chains(loadable, NV_SMALL)
+            report = analyze_chains(chains, loadable, NV_SMALL)
+        finally:
+            ops[0], ops[1] = ops[1], ops[0]
+    else:
+        fn = mutation.fn
+        if mutation.name == "cbuf-overbudget":
+            fn = lambda v: NV_SMALL.cbuf_banks  # noqa: E731
+        chains = mutate_chain_write(
+            build_chains(loadable, NV_SMALL), mutation.unit, mutation.register, fn
+        )
+        report = analyze_chains(chains, loadable, NV_SMALL)
+    assert not report.clean, f"{mutation.name} went undetected"
+    error_passes = {d.pass_id for d in report.errors}
+    assert mutation.expected_passes & error_passes, (
+        f"{mutation.name}: expected one of {sorted(mutation.expected_passes)} "
+        f"to claim the catch, got {sorted(error_passes)}"
+    )
+
+
+def test_mutation_catalog_covers_issue_floor():
+    # The sanitizer contract: at least six distinct miscompile classes.
+    assert len(MUTATIONS) >= 6
+    assert len({m.name for m in MUTATIONS}) == len(MUTATIONS)

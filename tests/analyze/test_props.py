@@ -1,0 +1,72 @@
+"""Property: the analyzer never crashes on a corrupted chain.
+
+Any single descriptor write, replaced with any 32-bit value, must
+yield either a clean report or typed diagnostics — an uncaught
+exception from the analyzer is itself a bug, whatever the input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.zoo import ZOO
+from repro.nvdla import NV_SMALL
+from repro.nvdla.programming import WRITE, build_chains
+from repro.analyze import AnalysisReport, Diagnostic, analyze_chains
+from repro.compiler import CompileOptions, compile_network
+
+_STATE: dict = {}
+
+
+def _loadable():
+    if "loadable" not in _STATE:
+        _STATE["loadable"] = compile_network(ZOO["lenet5"](), NV_SMALL, CompileOptions())
+        chains = build_chains(_STATE["loadable"], NV_SMALL)
+        _STATE["writes"] = [
+            (ci, ei)
+            for ci, chain in enumerate(chains)
+            for ei, event in enumerate(chain.events)
+            if event.kind == WRITE
+        ]
+    return _STATE["loadable"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(), value=st.integers(min_value=0, max_value=2**32 - 1))
+def test_any_single_field_mutation_yields_a_report(data, value):
+    loadable = _loadable()
+    chains = build_chains(loadable, NV_SMALL)
+    chain_index, event_index = data.draw(st.sampled_from(_STATE["writes"]))
+    chain = chains[chain_index]
+    chain.events[event_index] = replace(chain.events[event_index], value=value)
+    report = analyze_chains(chains, loadable, NV_SMALL)
+    assert isinstance(report, AnalysisReport)
+    assert all(isinstance(d, Diagnostic) for d in report.diagnostics)
+    # No pass may die on corrupted input: crashes surface as a
+    # dedicated code, and we forbid them outright here.
+    crashes = [d for d in report.diagnostics if d.code == "analyzer-crash"]
+    assert not crashes, [d.render() for d in crashes]
+    # Whatever was found serializes.
+    assert report.to_json()
+
+
+@settings(max_examples=20, deadline=None)
+@given(value=st.integers(min_value=0, max_value=2**32 - 1))
+def test_mutated_register_value_never_escapes_raise_contract(value):
+    """raise_for_errors raises exactly when the report is dirty."""
+    from repro.errors import StaticAnalysisError
+
+    loadable = _loadable()
+    chains = build_chains(loadable, NV_SMALL)
+    chain = chains[0]
+    writes = [i for i, e in enumerate(chain.events) if e.kind == WRITE]
+    chain.events[writes[0]] = replace(chain.events[writes[0]], value=value)
+    report = analyze_chains(chains, loadable, NV_SMALL)
+    if report.clean:
+        report.raise_for_errors()  # must be a no-op
+    else:
+        with pytest.raises(StaticAnalysisError):
+            report.raise_for_errors()

@@ -298,3 +298,48 @@ def test_bench_cluster_writes_trace(tmp_path, capsys):
     assert spans
     assert all(s["trace_id"].startswith("round_robin:req-") for s in spans)
     assert sum(len(t.orphans) for t in build_trees(spans)) == 0
+
+
+def test_analyze_reports_clean(capsys):
+    code = main(["analyze", "--models", "lenet5"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "passes:" in out and "clean" in out
+    assert "chains" in out and "surfaces" in out
+
+
+def test_analyze_writes_diagnostics_json(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "diags.json"
+    code = main(["analyze", "--models", "lenet5", "--out", str(out_path)])
+    assert code == 0
+    assert "diagnostics written to" in capsys.readouterr().out
+    payload = json.loads(out_path.read_text())
+    assert payload["config"] == "nv_small"
+    (report,) = payload["reports"]
+    assert report["artifact"] == "lenet5/nv_small"
+    assert report["clean"] is True and report["counts"]["error"] == 0
+
+
+def test_run_verify_flags_clean_bundle(capsys):
+    code = main(
+        ["run", "--model", "lenet5", "--fidelity", "timing", "--verify"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "static analysis: clean" in out and "DONE" in out
+
+
+def test_warmup_verify_and_store_verify_static(tmp_path, capsys):
+    root = str(tmp_path / "store")
+    code = main(
+        ["warmup", "--models", "lenet5", "--fidelity", "timing",
+         "--store", root, "--verify"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "static analysis: clean" in out
+
+    assert main(["store", "verify", "--static", "--store", root]) == 0
+    assert "1 ok, 0 problem(s)" in capsys.readouterr().out

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""CI gate: no wall clocks or unseeded RNGs in virtual-clock code.
+
+Thin CLI over :mod:`repro.analyze.codelint`.  Exits non-zero when any
+target module reads host time or draws from unseeded randomness, with
+``path:line:col`` findings a terminal (or editor) can jump to.
+
+Usage::
+
+    PYTHONPATH=src python tools/lint_determinism.py
+    PYTHONPATH=src python tools/lint_determinism.py src/repro/vp
+
+Exemptions, in reviewable order of preference:
+
+1. inline, with a reason:  ``t = time.time()  # wall-clock: operator log``
+2. central, by site:       add ``"<path>:<dotted.call>"`` to ALLOWLIST
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analyze.codelint import (  # noqa: E402
+    DEFAULT_TARGETS,
+    lint_repo,
+    scan_paths,
+)
+
+#: Central exemptions: "<repo-relative-path>:<dotted call name>".
+#: Empty on purpose — prefer the inline ``# wall-clock: <why>`` marker,
+#: which keeps the justification next to the offending line.
+ALLOWLIST: set[str] = set()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "targets", nargs="*",
+        help=f"files/directories to lint (default: {', '.join(DEFAULT_TARGETS)})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.targets:
+        violations = scan_paths(
+            [Path(t) for t in args.targets], root=REPO_ROOT, allow=ALLOWLIST
+        )
+        scanned = ", ".join(args.targets)
+    else:
+        violations = lint_repo(REPO_ROOT, allow=ALLOWLIST)
+        scanned = ", ".join(DEFAULT_TARGETS)
+
+    for violation in violations:
+        print(violation.render())
+    verdict = "FAIL" if violations else "OK"
+    print(f"determinism lint: {verdict} — {len(violations)} violation(s) in {scanned}")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
