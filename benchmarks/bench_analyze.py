@@ -30,7 +30,10 @@ from repro.nvdla.programming import WRITE, build_chains
 from repro.analyze import analyze_chains, analyze_loadable
 from repro.compiler import CompileOptions, compile_network
 
-from benchmarks.conftest import single_shot
+try:
+    from benchmarks.conftest import single_shot
+except ModuleNotFoundError:  # script mode: sys.path[0] is benchmarks/
+    from conftest import single_shot
 
 #: Config -> the precision the paper evaluates it at.
 CONFIG_PRECISION = {"nv_small": Precision.INT8, "nv_full": Precision.FP16}
@@ -74,17 +77,21 @@ class Mutation:
 
 
 MUTATIONS: tuple[Mutation, ...] = (
+    # With descriptor fusion (the default) the first chains are fused
+    # conv+SDP+PDP pipelines whose memory write is the PDP destination
+    # — the SDP D_DST is a flying link, so base-shift mutations target
+    # the PDP registers that actually reach DRAM.
     Mutation(
         name="shifted-base",
         description="output base address shifted outside the DRAM window",
         expected_passes=frozenset({"dma-bounds"}),
-        unit="SDP", register="D_DST_ADDR_LOW", fn=lambda v: v + 0x0400_0000,
+        unit="PDP", register="D_DST_ADDR_LOW", fn=lambda v: v + 0x0400_0000,
     ),
     Mutation(
         name="shifted-base-small",
         description="output base nudged off its blob (stays in-window)",
         expected_passes=frozenset({"hazard"}),
-        unit="SDP", register="D_DST_ADDR_LOW", fn=lambda v: v + 0x100,
+        unit="PDP", register="D_DST_ADDR_LOW", fn=lambda v: v + 0x100,
     ),
     Mutation(
         name="truncated-surface",
@@ -122,6 +129,20 @@ MUTATIONS: tuple[Mutation, ...] = (
         description="pooling method set to an undefined enum value",
         expected_passes=frozenset({"register-field"}),
         unit="PDP", register="D_POOLING_METHOD", fn=lambda v: 7,
+    ),
+    Mutation(
+        name="fused-dangling-producer",
+        description="fused chain's PDP dropped to memory source while "
+                    "the SDP still streams its result on-chip",
+        expected_passes=frozenset({"chain"}),
+        unit="PDP", register="D_SRC_FLYING", fn=lambda v: 0,
+    ),
+    Mutation(
+        name="fused-stride-mismatch",
+        description="fused PDP source line stride doubled vs the "
+                    "canonical flying-cube layout",
+        expected_passes=frozenset({"layout"}),
+        unit="PDP_RDMA", register="D_SRC_LINE_STRIDE", fn=lambda v: v * 2,
     ),
 )
 

@@ -13,9 +13,10 @@ analyze_chains` runs it:
 ``chain``
     Structural legality of each descriptor chain: writes target
     selected groups, nothing is written after its unit launched,
-    enables hit configured units (replay failures — unknown register,
-    double enable — are reported by the surface builder under the same
-    pass id).
+    enables hit configured units, and fused flying links are paired —
+    an SDP streaming on-chip must feed a PDP that reads on-chip, and
+    vice versa (replay failures — unknown register, double enable —
+    are reported by the surface builder under the same pass id).
 ``register-field``
     Every written value fits its field's width/enum per the table in
     :mod:`repro.nvdla.registers`.
@@ -41,7 +42,8 @@ analyze_chains` runs it:
     Precision/stride/shape consistency: descriptor strides must equal
     the canonical :func:`repro.nvdla.layout.feature_strides`, shapes
     and precisions must match the loadable's tensor metadata, and the
-    conv pipeline's cube dimensions must agree across CSC/CACC/SDP.
+    conv pipeline's cube dimensions must agree across CSC/CACC/SDP —
+    and, in a fused conv+SDP+PDP chain, across the SDP→PDP flying link.
 """
 
 from __future__ import annotations
@@ -795,22 +797,75 @@ def pass_layout(ctx: AnalysisContext) -> list[Diagnostic]:
                     diags, chain, "SDP_RDMA", "eltwise operand", sdp.eltwise_input,
                     eltwise_ref, ctx.config,
                 )
-            _check_tensor_layout(
-                diags, chain, "SDP", "SDP destination", sdp.output, op.output, ctx.config
-            )
+            if sdp.dst_flying:
+                # Flying destination: no compiled tensor backs the on-chip
+                # link (address 0), but the cube geometry must still carry
+                # canonical strides for the downstream consumer.
+                _check_tensor_layout(
+                    diags, chain, "SDP", "SDP flying destination", sdp.output, None,
+                    ctx.config,
+                )
+                if sdp.output.address != 0:
+                    diags.append(
+                        _diag(
+                            Severity.ERROR,
+                            "layout",
+                            "flying-nonnull-address",
+                            f"SDP flying destination carries address "
+                            f"0x{sdp.output.address:x}; an on-chip link must be "
+                            f"programmed with a null address",
+                            layer=chain.op_name,
+                            op_index=chain.op_index,
+                            unit="SDP",
+                        )
+                    )
+            else:
+                _check_tensor_layout(
+                    diags, chain, "SDP", "SDP destination", sdp.output, op.output,
+                    ctx.config,
+                )
         pdp = layer.descriptors.get("pdp")
         cdp = layer.descriptors.get("cdp")
-        simple = pdp or cdp
-        if simple is not None:
-            rdma = "PDP_RDMA" if pdp is not None else "CDP_RDMA"
-            sink = "PDP" if pdp is not None else "CDP"
+        if pdp is not None and sdp is not None and sdp.dst_flying:
+            # Fused conv+SDP+PDP epilogue: the SDP flying cube must feed the
+            # PDP source exactly, and only the pooled output is memory-backed.
+            src = pdp.input
+            if (sdp.output.width, sdp.output.height, sdp.output.channels) != (
+                src.width, src.height, src.channels,
+            ):
+                diags.append(
+                    _diag(
+                        Severity.ERROR,
+                        "layout",
+                        "pipeline-dims-mismatch",
+                        f"SDP flying cube {sdp.output.width}x{sdp.output.height}"
+                        f"x{sdp.output.channels} != fused PDP source "
+                        f"{src.width}x{src.height}x{src.channels}",
+                        layer=chain.op_name,
+                        op_index=chain.op_index,
+                        unit="PDP_RDMA",
+                    )
+                )
             _check_tensor_layout(
-                diags, chain, rdma, f"{sink} source", simple.input, op.input, ctx.config
+                diags, chain, "PDP_RDMA", "fused PDP source", src, None, ctx.config
             )
             _check_tensor_layout(
-                diags, chain, sink, f"{sink} destination", simple.output, op.output,
+                diags, chain, "PDP", "fused PDP destination", pdp.output, op.output,
                 ctx.config,
             )
+        else:
+            simple = pdp or cdp
+            if simple is not None:
+                rdma = "PDP_RDMA" if pdp is not None else "CDP_RDMA"
+                sink = "PDP" if pdp is not None else "CDP"
+                _check_tensor_layout(
+                    diags, chain, rdma, f"{sink} source", simple.input, op.input,
+                    ctx.config,
+                )
+                _check_tensor_layout(
+                    diags, chain, sink, f"{sink} destination", simple.output, op.output,
+                    ctx.config,
+                )
     return diags
 
 

@@ -178,7 +178,11 @@ def _tensor_surface(
 
 
 def _extract_conv(
-    layer: ParsedLayer, config: HardwareConfig, conv: ConvDescriptor, sdp: SdpDescriptor
+    layer: ParsedLayer,
+    config: HardwareConfig,
+    conv: ConvDescriptor,
+    sdp: SdpDescriptor,
+    pdp: PdpDescriptor | None = None,
 ) -> None:
     chain, op = layer.chain, layer.op
     assert isinstance(op, ConvOp)
@@ -219,7 +223,16 @@ def _extract_conv(
                 chain, "SDP_RDMA", READ, op.eltwise_input.blob, sdp.eltwise_input, config
             )
         )
-    surfaces.append(_tensor_surface(chain, "SDP", WRITE, op.output.blob, sdp.output, config))
+    if pdp is not None:
+        # Fused epilogue: the SDP result streams on-chip (no DMA write,
+        # no PDP_RDMA read) and only the pooled output touches memory.
+        surfaces.append(
+            _tensor_surface(chain, "PDP", WRITE, op.output.blob, pdp.output, config)
+        )
+    else:
+        surfaces.append(
+            _tensor_surface(chain, "SDP", WRITE, op.output.blob, sdp.output, config)
+        )
 
 
 def _extract_sdp(layer: ParsedLayer, config: HardwareConfig, sdp: SdpDescriptor) -> None:
@@ -266,7 +279,23 @@ def parse_chain(chain: LayerChain, op: HwOp, config: HardwareConfig) -> ParsedLa
             conv = conv_pipeline.parse(layer.units, group, config)
             sdp = sdp_mod.parse(layer.units, group, config)
             layer.descriptors = {"conv": conv, "sdp": sdp}
-            _extract_conv(layer, config, conv, sdp)
+            pdp = None
+            if sdp.dst_flying:
+                pdp = pdp_mod.parse(layer.units, group, config)
+                layer.descriptors["pdp"] = pdp
+                if not pdp.src_flying:
+                    layer.diagnostics.append(
+                        _error(
+                            chain,
+                            "chain",
+                            "dangling-flying-producer",
+                            "SDP streams its result on-chip (D_DST_FLYING) but "
+                            "PDP reads from memory — the SDP output has no "
+                            "consumer and the pooled input is unproduced",
+                            unit="SDP",
+                        )
+                    )
+            _extract_conv(layer, config, conv, sdp, pdp=pdp)
         elif isinstance(op, SdpOp):
             sdp = sdp_mod.parse(layer.units, group, config)
             layer.descriptors = {"sdp": sdp}
@@ -274,6 +303,17 @@ def parse_chain(chain: LayerChain, op: HwOp, config: HardwareConfig) -> ParsedLa
         elif isinstance(op, PoolOp):
             pdp = pdp_mod.parse(layer.units, group, config)
             layer.descriptors = {"pdp": pdp}
+            if pdp.src_flying:
+                layer.diagnostics.append(
+                    _error(
+                        chain,
+                        "chain",
+                        "flying-source-without-producer",
+                        "standalone PDP chain claims an on-chip source "
+                        "(D_SRC_FLYING) but no SDP streams into it",
+                        unit="PDP",
+                    )
+                )
             _extract_simple(layer, config, pdp, "PDP_RDMA", "PDP")
         elif isinstance(op, LrnOp):
             cdp = cdp_mod.parse(layer.units, group, config)

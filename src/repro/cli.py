@@ -102,6 +102,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"running {args.model} on {config.name} "
         f"({precision.value}, {args.fidelity}, {args.mode})..."
     )
+    from repro.compiler import CompileOptions
+
+    options = CompileOptions(precision=precision, fusion=args.fusion)
     calibration = None
     if args.mode == "fast":
         calibration = _calibration_for_cli(
@@ -109,11 +112,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             memory_bus_width_bits=args.memory_width,
         )
         bundle = shared_cache().bundle_for(
-            args.model, config, precision=precision, fidelity=args.fidelity
+            args.model, config, precision=precision, fidelity=args.fidelity,
+            compile_options=options,
         )
     else:
         bundle = generate_baremetal(
-            ZOO[args.model](), config, precision=precision, fidelity=args.fidelity
+            ZOO[args.model](), config, precision=precision, fidelity=args.fidelity,
+            compile_options=options,
         )
     if args.verify:
         from repro.analyze import analyze_bundle
@@ -160,7 +165,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     failures = 0
     for model in models:
         loadable = compile_network(
-            ZOO[model](), config, CompileOptions(precision=precision)
+            ZOO[model](), config, CompileOptions(precision=precision, fusion=args.fusion)
         )
         began = time.perf_counter()
         report = analyze_loadable(loadable, config, artifact=f"{model}/{config.name}")
@@ -939,6 +944,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="execution tier: full SoC simulation or the calibrated fast path")
     run.add_argument("--calibration", default=None,
                      help="calibration table JSON to load/save for --mode fast")
+    run.add_argument("--fusion", default="descriptor",
+                     choices=["off", "graph", "descriptor"],
+                     help="operator fusion level: descriptor fuses conv+SDP+PDP "
+                          "chains on-chip, graph stops at IR absorption, off "
+                          "disables fusion entirely")
     run.add_argument("--verify", action="store_true",
                      help="statically analyze the bundle before executing; "
                           "fail on any ERROR diagnostic")
@@ -952,6 +962,10 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--config", default="nv_small", choices=sorted(CONFIGS))
     analyze.add_argument("--precision", default="int8",
                          choices=[p.value for p in Precision])
+    analyze.add_argument("--fusion", default="descriptor",
+                         choices=["off", "graph", "descriptor"],
+                         help="operator fusion level to compile with before "
+                              "analyzing")
     analyze.add_argument("--out", default=None,
                          help="write machine-readable diagnostics JSON here")
     analyze.add_argument("--verbose", action="store_true",

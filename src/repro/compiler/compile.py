@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 from repro.errors import CompilerError
 from repro.compiler.allocator import allocate_memory
+from repro.compiler.fusion import fuse_descriptor_chains
 from repro.compiler.loadable import Loadable
 from repro.compiler.lowering import lower_network
 from repro.compiler.tiling import analyze_schedule, summarize
@@ -38,6 +39,19 @@ class CompileOptions:
     #: Fuse residual adds into the producing conv's SDP pass (the real
     #: compiler's schedule); disable for the fusion ablation.
     fuse_eltwise: bool = True
+    #: Fusion tier: ``"descriptor"`` additionally collapses conv →
+    #: SDP/pool pairs into single pipelined chains (PDP streams the
+    #: SDP result on-chip, no intermediate DRAM surface);
+    #: ``"graph"`` keeps only the graph-IR absorption (BN/Scale/ReLU
+    #: folding plus ``fuse_eltwise``); ``"off"`` emits one descriptor
+    #: chain per network layer — standalone ReLU SDP ops, standalone
+    #: eltwise ops, every intermediate through DRAM.  BN/Scale folding
+    #: always happens — a standalone BatchNorm has no hardware
+    #: lowering.
+    fusion: str = "descriptor"
+
+
+FUSION_MODES = ("off", "graph", "descriptor")
 
 
 def compile_network(
@@ -56,6 +70,10 @@ def compile_network(
     """
     options = options or CompileOptions()
     precision = options.precision
+    if options.fusion not in FUSION_MODES:
+        raise CompilerError(
+            f"unknown fusion mode {options.fusion!r} (choose from {FUSION_MODES})"
+        )
     if not config.supports(precision):
         raise CompilerError(
             f"{config.name} does not support {precision.value} "
@@ -66,8 +84,15 @@ def compile_network(
         calibration = calibrate_network(net, samples=options.calibration_samples)
 
     schedule = lower_network(
-        net, config, precision, calibration, fuse_eltwise=options.fuse_eltwise
+        net,
+        config,
+        precision,
+        calibration,
+        fuse_eltwise=options.fuse_eltwise and options.fusion != "off",
+        absorb_relu=options.fusion != "off",
     )
+    if options.fusion == "descriptor":
+        fuse_descriptor_chains(schedule, fuse_eltwise=options.fuse_eltwise)
     tiling = analyze_schedule(schedule, config)
     weight_blob = pack_schedule_weights(schedule, config, align=options.weight_align)
     memory_map = allocate_memory(

@@ -10,6 +10,16 @@ Works on the :class:`~repro.nn.graph.Network` IR before lowering:
 - **concat aliasing** — channel-wise Concat becomes zero-copy: each
   input blob is a channel-offset view into the concat output blob.
   Chained concats collapse into the outermost blob.
+
+Plus one pass *after* lowering, on the hardware-op schedule:
+
+- **descriptor-chain fusion** (:func:`fuse_descriptor_chains`) — a
+  ``ConvOp`` followed by the sole consumer of its output collapses
+  into one pipelined descriptor chain: a relu/eltwise ``SdpOp`` folds
+  into the conv's SDP stage, and a ``PoolOp`` becomes a PDP epilogue
+  streaming the SDP result on-chip.  The intermediate blob disappears
+  from every op reference, so the allocator never materialises it and
+  the DRAM round-trip between the stages is gone.
 """
 
 from __future__ import annotations
@@ -57,7 +67,14 @@ class FusionPlan:
     aliases: dict[str, str] = field(default_factory=dict)
 
     def resolve_blob(self, blob: str) -> str:
+        seen: set[str] = set()
         while blob in self.aliases:
+            if blob in seen:
+                raise CompilerError(
+                    f"cyclic blob alias chain through {blob!r}: "
+                    f"{sorted(seen)} alias each other"
+                )
+            seen.add(blob)
             blob = self.aliases[blob]
         return blob
 
@@ -65,12 +82,17 @@ class FusionPlan:
 _FOLDABLE_AFTER_CONV = (BatchNorm, Scale, ReLU)
 
 
-def plan_fusion(net: Network, layers: list[Layer]) -> FusionPlan:
+def plan_fusion(net: Network, layers: list[Layer], absorb_relu: bool = True) -> FusionPlan:
     """Greedy single-consumer chain fusion.
 
     A layer is absorbed only when it is the *sole* consumer of its
     bottom blob, so branch points (e.g. a ReLU output feeding two
     inception branches) stay materialised.
+
+    ``absorb_relu=False`` (the ``fusion="off"`` ablation) keeps every
+    ReLU as a standalone SDP layer — one descriptor chain per network
+    layer, each paying its own DRAM round-trip.  BN/Scale still fold:
+    a standalone BatchNorm has no hardware lowering.
     """
     plan = FusionPlan()
     by_index = {layer.name: i for i, layer in enumerate(layers)}
@@ -85,8 +107,12 @@ def plan_fusion(net: Network, layers: list[Layer]) -> FusionPlan:
             plan.aliases[layer.tops[0]] = layer.bottoms[0]
             continue
         if isinstance(layer, (Convolution, InnerProduct)):
-            allowed: tuple[type, ...] = _FOLDABLE_AFTER_CONV
+            allowed: tuple[type, ...] = (
+                _FOLDABLE_AFTER_CONV if absorb_relu else (BatchNorm, Scale)
+            )
         elif isinstance(layer, Eltwise):
+            if not absorb_relu:
+                continue
             allowed = (ReLU,)
         else:
             continue
@@ -202,3 +228,135 @@ def plan_concats(net: Network, layers: list[Layer], plan: FusionPlan) -> dict[st
                 )
                 changed = True
     return aliases
+
+
+# ----------------------------------------------------------------------
+# Descriptor-chain fusion (post-lowering, on the hardware schedule).
+# ----------------------------------------------------------------------
+
+
+def _schedule_read_counts(schedule) -> dict[str, int]:
+    """How many op-input references each blob has."""
+    counts: dict[str, int] = {}
+    for op in schedule.ops:
+        for ref in op.inputs():
+            counts[ref.blob] = counts.get(ref.blob, 0) + 1
+    return counts
+
+
+def _full_blob_view(ref) -> bool:
+    """True when the ref covers its whole allocation blob."""
+    return ref.channel_offset == 0 and ref.parent_channels in (None, ref.shape[0])
+
+
+def _intermediate_is_private(conv, follower_input, reads, output_blob) -> bool:
+    """The conv output exists only to feed ``follower_input``.
+
+    Legality core of descriptor fusion: the blob must be a full view
+    on both sides, read exactly once schedule-wide, and must not be
+    the network output the host reads back.
+    """
+    out = conv.output
+    if out.blob != follower_input.blob:
+        return False
+    if not _full_blob_view(out) or not _full_blob_view(follower_input):
+        return False
+    if out.shape != follower_input.shape:
+        return False
+    if output_blob is not None and out.blob == output_blob:
+        return False
+    return reads.get(out.blob, 0) == 1
+
+
+def _try_fuse_pool(conv, pool, reads, output_blob) -> bool:
+    """Fold a ``PoolOp`` into ``conv`` as a PDP streaming epilogue."""
+    from repro.compiler.ops import PoolOp
+
+    if not isinstance(pool, PoolOp) or conv.has_pool_epilogue:
+        return False
+    if pool.precision is not conv.precision:
+        return False
+    if pool.output.blob == conv.output.blob:
+        return False
+    if not _intermediate_is_private(conv, pool.input, reads, output_blob):
+        return False
+    conv.conv_out_shape = conv.output.shape
+    conv.pool_mode = pool.mode
+    conv.pool_kernel = pool.kernel
+    conv.pool_stride = pool.stride
+    conv.pool_pad = pool.pad
+    conv.output = pool.output
+    return True
+
+
+def _try_fuse_sdp(conv, sdp, reads, output_blob, fuse_eltwise=True) -> bool:
+    """Fold a standalone relu/eltwise ``SdpOp`` into the conv's SDP stage."""
+    from repro.compiler.ops import EltwiseOpKind, SdpOp
+    from repro.nn.quantize import requant_constants
+    from repro.nvdla.config import Precision
+
+    if not isinstance(sdp, SdpOp) or conv.has_pool_epilogue:
+        return False
+    if sdp.eltwise is not None and not fuse_eltwise:
+        return False  # honour the eltwise-fusion ablation knob
+    if conv.relu or conv.eltwise is not None:
+        return False  # the conv's SDP stage is already claimed
+    if sdp.precision is not conv.precision:
+        return False
+    if sdp.eltwise is not None and sdp.eltwise is not EltwiseOpKind.ADD:
+        return False  # requant algebra below only covers ADD
+    if sdp.eltwise_input is not None and sdp.eltwise_input.blob == conv.output.blob:
+        return False
+    if sdp.output.blob == conv.output.blob:
+        return False
+    if not _intermediate_is_private(conv, sdp.input, reads, output_blob):
+        return False
+    if conv.precision is Precision.INT8:
+        acc_scale = conv.input.scale * conv.weight_scale
+        conv.cvt_mult, conv.cvt_shift = requant_constants(
+            conv.input.scale, conv.weight_scale, sdp.output.scale
+        )
+        if sdp.eltwise_input is not None:
+            conv.ew_cvt_mult, conv.ew_cvt_shift = requant_constants(
+                sdp.eltwise_input.scale, 1.0, acc_scale
+            )
+    conv.eltwise = sdp.eltwise
+    conv.eltwise_input = sdp.eltwise_input
+    conv.relu = sdp.relu
+    conv.output = sdp.output
+    return True
+
+
+def fuse_descriptor_chains(schedule, fuse_eltwise=True) -> int:
+    """Collapse conv → SDP/pool pairs into single pipelined chains.
+
+    Mutates ``schedule`` in place and returns the number of ops
+    absorbed.  Runs after lowering and before weight packing /
+    allocation, so absorbed intermediates simply never reach the
+    allocator.  Only adjacent schedule pairs fuse: the engine launches
+    a fused chain as one shadow-group occupancy across the conv
+    pipeline, SDP and PDP, which requires the stages to be programmed
+    together.
+    """
+    from repro.compiler.ops import ConvOp
+
+    fused = 0
+    changed = True
+    while changed:
+        changed = False
+        reads = _schedule_read_counts(schedule)
+        output_blob = (
+            schedule.output_tensor.blob if schedule.output_tensor is not None else None
+        )
+        for idx in range(len(schedule.ops) - 1):
+            conv, follower = schedule.ops[idx], schedule.ops[idx + 1]
+            if not isinstance(conv, ConvOp):
+                continue
+            if _try_fuse_pool(conv, follower, reads, output_blob) or _try_fuse_sdp(
+                conv, follower, reads, output_blob, fuse_eltwise=fuse_eltwise
+            ):
+                del schedule.ops[idx + 1]
+                fused += 1
+                changed = True
+                break
+    return fused

@@ -197,6 +197,13 @@ def _op_dict(op: HwOp) -> dict:
             weight_offset=op.weight_offset,
             weight_bytes=op.weight_bytes,
             bias_offset=op.bias_offset,
+            pool_mode=op.pool_mode,
+            pool_kernel=list(op.pool_kernel),
+            pool_stride=list(op.pool_stride),
+            pool_pad=list(op.pool_pad),
+            conv_out_shape=(
+                None if op.conv_out_shape is None else list(op.conv_out_shape)
+            ),
         )
     elif isinstance(op, SdpOp):
         base.update(
@@ -264,6 +271,15 @@ def _op_from(data: dict) -> HwOp:
             weight_offset=data["weight_offset"],
             weight_bytes=data["weight_bytes"],
             bias_offset=data["bias_offset"],
+            pool_mode=data.get("pool_mode"),
+            pool_kernel=tuple(data.get("pool_kernel", (1, 1))),
+            pool_stride=tuple(data.get("pool_stride", (1, 1))),
+            pool_pad=tuple(data.get("pool_pad", (0, 0, 0, 0))),
+            conv_out_shape=(
+                None
+                if data.get("conv_out_shape") is None
+                else tuple(data["conv_out_shape"])
+            ),
         )
     if kind == "sdp":
         eltwise = data["eltwise"]

@@ -31,6 +31,7 @@ import numpy as np
 from repro.errors import CompilerError
 from repro.nn.graph import Network
 from repro.nn.layers import (
+    BatchNorm,
     Concat,
     Convolution,
     Dropout,
@@ -43,6 +44,7 @@ from repro.nn.layers import (
     Pooling,
     PoolKind,
     ReLU,
+    Scale,
     Softmax,
 )
 from repro.nn.quantize import CalibrationTable, quantize_weights, requant_constants
@@ -125,8 +127,42 @@ def resolve_scales(
         elif isinstance(layer, ReLU) and layer.name not in plan.consumed:
             union.union(layer.bottoms[0], layer.tops[0])
 
+    # Standalone ReLUs that graph fusion would have absorbed (sole
+    # consumer of a conv/FC output — the ``fusion="off"`` ablation):
+    # the pre-ReLU blob must not widen the group's scale, so the
+    # quantised schedule matches the absorbed one bit for bit — the
+    # extra negative range it would claim is zeroed by the ReLU anyway.
+    producers = {layer.tops[0]: layer for layer in layers if layer.tops}
+    consumer_count: dict[str, int] = {}
+    for layer in layers:
+        if layer.name in plan.consumed:
+            continue
+        for bottom in layer.bottoms:
+            consumer_count[bottom] = consumer_count.get(bottom, 0) + 1
+    def _effective_producer(blob: str) -> Layer | None:
+        # BN/Scale folded into the conv leave their tops as aliases of
+        # the conv's output (conv→BN→Scale→ReLU chains); walk back
+        # through the consumed layers to the op that really writes.
+        layer = producers.get(blob)
+        while isinstance(layer, (BatchNorm, Scale)) and layer.name in plan.consumed:
+            layer = producers.get(layer.bottoms[0])
+        return layer
+
+    deabsorbed_inputs = {
+        layer.bottoms[0]
+        for layer in layers
+        if isinstance(layer, ReLU)
+        and layer.name not in plan.consumed
+        and consumer_count.get(layer.bottoms[0], 0) == 1
+        and isinstance(
+            _effective_producer(layer.bottoms[0]), (Convolution, InnerProduct)
+        )
+    }
+
     group_scale: dict[str, float] = {}
     for blob in blobs:
+        if blob in deabsorbed_inputs:
+            continue
         root = union.find(blob)
         scale = calibration.scales.get(blob)
         if scale is None:
@@ -145,13 +181,14 @@ def lower_network(
     precision: Precision,
     calibration: CalibrationTable | None,
     fuse_eltwise: bool = True,
+    absorb_relu: bool = True,
 ) -> Schedule:
     """Run pruning, fusion, scale resolution and op emission."""
     if not config.supports(precision):
         raise CompilerError(f"{config.name} does not support {precision.value}")
     net.validate()
     layers = prune_to_output(net)
-    plan = plan_fusion(net, layers)
+    plan = plan_fusion(net, layers, absorb_relu=absorb_relu)
     concat_aliases = plan_concats(net, layers, plan)
     scales = resolve_scales(net, layers, plan, calibration, precision)
     atom = config.atom_channels(precision)

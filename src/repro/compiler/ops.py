@@ -131,6 +131,15 @@ class ConvOp(HwOp):
     bias_offset: int | None = None
     # Kernel dims survive serialisation after arrays are stripped:
     kernel_dims: tuple[int, int, int, int] | None = None
+    # Fused pooling epilogue (descriptor-level fusion): when
+    # ``pool_mode`` is set, PDP streams the SDP result on-chip and
+    # ``output`` is the *pool* output; the conv/SDP stage produces
+    # ``conv_out_shape`` without touching DRAM.
+    pool_mode: str | None = None  # 'max' | 'avg'
+    pool_kernel: tuple[int, int] = (1, 1)  # (h, w)
+    pool_stride: tuple[int, int] = (1, 1)  # (y, x)
+    pool_pad: tuple[int, int, int, int] = (0, 0, 0, 0)  # top, bottom, left, right
+    conv_out_shape: tuple[int, int, int] | None = None  # C, H, W before pooling
 
     def inputs(self) -> list[TensorRef]:
         refs = [self.input]
@@ -148,9 +157,20 @@ class ConvOp(HwOp):
         return tuple(self.weight.shape)  # type: ignore[return-value]
 
     @property
+    def has_pool_epilogue(self) -> bool:
+        return self.pool_mode is not None
+
+    @property
+    def sdp_out_shape(self) -> tuple[int, int, int]:
+        """Shape the conv/SDP stage produces (pre-pooling when fused)."""
+        if self.conv_out_shape is not None:
+            return self.conv_out_shape
+        return self.output.shape
+
+    @property
     def macs(self) -> int:
         k, c, r, s = self.kernel_shape
-        _, out_h, out_w = self.output.shape
+        _, out_h, out_w = self.sdp_out_shape
         return k * c * r * s * out_h * out_w
 
 

@@ -373,13 +373,16 @@ class FastPathExecutor:
         for index, timing in enumerate(timings):
             start = now + gap
             end = start + timing.total
+            sink = {"conv": "SDP", "sdp": "SDP", "pdp": "PDP", "cdp": "CDP"}.get(
+                timing.kind, timing.kind.upper()
+            )
+            if timing.kind == "conv" and timing.detail.get("fused"):
+                sink = "PDP"  # fused conv+SDP+PDP chains complete at the PDP
             records.append(
                 OpRecord(
                     index=index,
                     kind=timing.kind,
-                    sink={"conv": "SDP", "sdp": "SDP", "pdp": "PDP", "cdp": "CDP"}.get(
-                        timing.kind, timing.kind.upper()
-                    ),
+                    sink=sink,
                     group=index % 2,
                     start_cycle=start,
                     end_cycle=end,

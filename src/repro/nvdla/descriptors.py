@@ -176,6 +176,10 @@ class SdpDescriptor:
     # add (INT8 fused residual adds; identity for FP16).
     ew_cvt_multiplier: int = 1
     ew_cvt_shift: int = 0
+    # Fused-chain destination: the result streams on-chip to PDP
+    # instead of being written to memory; ``output`` then carries the
+    # cube geometry with a null address.
+    dst_flying: bool = False
 
     def __post_init__(self) -> None:
         if self.source is SdpSource.MEMORY and self.input is None:
@@ -207,6 +211,10 @@ class PdpDescriptor:
     pad_top: int = 0
     pad_right: int = 0
     pad_bottom: int = 0
+    # Fused-chain source: the input streams on-chip from SDP instead
+    # of PDP_RDMA; ``input`` then carries the cube geometry with a
+    # null address and PDP_RDMA stays disabled.
+    src_flying: bool = False
 
     def __post_init__(self) -> None:
         if min(self.kernel_w, self.kernel_h) <= 0:

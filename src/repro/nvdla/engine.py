@@ -11,7 +11,8 @@ sink         producers required
 ===========  ========================================================
 SDP flying   CDMA, CSC, CMAC_A, CMAC_B, CACC  (fused convolution)
 SDP memory   SDP_RDMA
-PDP          PDP_RDMA
+PDP flying   CDMA, CSC, CMAC_A, CMAC_B, CACC, SDP  (fused conv+pool)
+PDP memory   PDP_RDMA
 CDP          CDP_RDMA
 BDMA         —
 RUBIK        —
@@ -38,13 +39,14 @@ from repro.nvdla.cbuf import Cbuf
 from repro.nvdla.config import HardwareConfig
 from repro.nvdla.csb import decode_address
 from repro.nvdla.descriptors import OpTiming, SdpSource
-from repro.nvdla.mcif import DbbPort, Mcif
+from repro.nvdla.mcif import DbbPort, Mcif, McifStats
 from repro.nvdla.registers import GroupStatus
 from repro.nvdla.timing import (
     TimingParams,
     bdma_op_timing,
     cdp_op_timing,
     conv_op_timing,
+    fused_conv_pool_op_timing,
     pdp_op_timing,
     rubik_op_timing,
     sdp_op_timing,
@@ -180,6 +182,12 @@ class NvdlaEngine:
         self.glb.reset()
         for unit in self.units.values():
             unit.reset()
+        # MCIF state must not survive a reset: with the clock back at
+        # zero, stale DMA windows from the previous run would alias
+        # the new run's cycle range and charge phantom arbiter
+        # contention to the CPU.
+        self.mcif.stats = McifStats()
+        self.mcif.windows.clear()
         self.records.clear()
         self._op_index = 0
 
@@ -205,7 +213,7 @@ class NvdlaEngine:
         if sink == "SDP":
             return self._launch_sdp(group)
         if sink == "PDP":
-            return self._launch_with_rdma("PDP", "PDP_RDMA", group, pdp_mod, pdp_op_timing)
+            return self._launch_pdp(group)
         if sink == "CDP":
             return self._launch_with_rdma("CDP", "CDP_RDMA", group, cdp_mod, cdp_op_timing)
         if sink == "BDMA":
@@ -226,6 +234,10 @@ class NvdlaEngine:
 
     def _launch_sdp(self, group: int) -> bool:
         sdp_desc = sdp_mod.parse(self.units, group, self.config)
+        if sdp_desc.dst_flying:
+            # The SDP result streams on-chip to PDP: the whole fused
+            # chain launches from the PDP sink once PDP is enabled.
+            return False
         if sdp_desc.source is SdpSource.FLYING:
             producer_blocks = [self.units[name].block for name in conv_pipeline.CONV_UNIT_NAMES]
             if not all(
@@ -255,6 +267,52 @@ class NvdlaEngine:
         if self.fidelity == "functional":
             sdp_mod.execute(sdp_desc, self.config, self.mcif)
         self._commit("sdp", "SDP", group, [rdma_block, self.units["SDP"].block], timing)
+        return True
+
+    def _launch_pdp(self, group: int) -> bool:
+        pdp_desc = pdp_mod.parse(self.units, group, self.config)
+        if not pdp_desc.src_flying:
+            return self._launch_with_rdma("PDP", "PDP_RDMA", group, pdp_mod, pdp_op_timing)
+        # Fused conv → SDP → PDP chain: PDP is the sink and launches
+        # only once SDP and the whole convolution pipeline have the
+        # same group pending (PDP_RDMA and SDP_RDMA stay idle).
+        sdp_block = self.units["SDP"].block
+        if not (sdp_block.enabled[group] and sdp_block.status[group] is GroupStatus.PENDING):
+            return False
+        sdp_desc = sdp_mod.parse(self.units, group, self.config)
+        if not sdp_desc.dst_flying:
+            raise ConfigurationError(
+                "PDP sources on-chip from SDP but the SDP destination is memory"
+            )
+        if sdp_desc.source is not SdpSource.FLYING:
+            raise ConfigurationError(
+                "fused SDP→PDP chains require a convolution-sourced SDP stage"
+            )
+        producer_blocks = [self.units[name].block for name in conv_pipeline.CONV_UNIT_NAMES]
+        if not all(
+            b.enabled[group] and b.status[group] is GroupStatus.PENDING
+            for b in producer_blocks
+        ):
+            return False
+        conv_desc = conv_pipeline.parse(self.units, group, self.config)
+        if conv_desc.out_width != sdp_desc.output.width or conv_desc.out_height != sdp_desc.output.height:
+            raise ConfigurationError(
+                "SDP output cube does not match convolution output dims"
+            )
+        if sdp_desc.output.shape != pdp_desc.input.shape:
+            raise ConfigurationError(
+                "PDP source cube does not match the SDP output cube"
+            )
+        timing = fused_conv_pool_op_timing(
+            conv_desc, sdp_desc, pdp_desc, self.config, self.cbuf, self.mcif,
+            self.timing_params,
+        )
+        if self.fidelity == "functional":
+            acc = conv_pipeline.execute(conv_desc, self.config, self.mcif)
+            result = sdp_mod.execute(sdp_desc, self.config, self.mcif, flying_input=acc)
+            pdp_mod.execute(pdp_desc, self.config, self.mcif, flying_input=result)
+        blocks = producer_blocks + [sdp_block, self.units["PDP"].block]
+        self._commit("conv", "PDP", group, blocks, timing, detail=timing.detail)
         return True
 
     def _launch_with_rdma(self, sink: str, rdma: str, group: int, module, timing_fn) -> bool:

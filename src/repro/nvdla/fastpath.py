@@ -57,6 +57,7 @@ from repro.nvdla.timing import (
     TimingParams,
     cdp_op_timing,
     conv_op_timing,
+    fused_conv_pool_op_timing,
     pdp_op_timing,
     sdp_op_timing,
 )
@@ -82,6 +83,7 @@ class FastPathOp:
     sink: str  # 'SDP' | 'PDP' | 'CDP'
     descriptor: SdpDescriptor | PdpDescriptor | CdpDescriptor
     conv: ConvDescriptor | None = None  # the producer half of a fused conv
+    pool: PdpDescriptor | None = None  # fused PDP epilogue (streams from SDP)
 
 
 def _tensor_desc(ref: TensorRef, precision: Precision, config: HardwareConfig) -> TensorDesc:
@@ -100,11 +102,29 @@ def _tensor_desc(ref: TensorRef, precision: Precision, config: HardwareConfig) -
     )
 
 
+def _flying_tensor_desc(
+    shape: tuple[int, int, int], precision: Precision, config: HardwareConfig
+) -> TensorDesc:
+    """On-chip link geometry: null address, canonical strides."""
+    atom = config.atom_channels(precision)
+    c, h, w = shape
+    line, surf = feature_strides((c, h, w), atom, precision)
+    return TensorDesc(
+        address=0,
+        width=w,
+        height=h,
+        channels=c,
+        precision=precision,
+        line_stride=line,
+        surf_stride=surf,
+    )
+
+
 def _conv_descriptors(
     op: ConvOp, loadable: Loadable, config: HardwareConfig
 ) -> tuple[ConvDescriptor, SdpDescriptor]:
     k, c, r, s = op.kernel_shape
-    _, out_h, out_w = op.output.shape
+    _, out_h, out_w = op.sdp_out_shape
     pad_top, pad_bottom, pad_left, pad_right = op.pad
     conv = ConvDescriptor(
         input=_tensor_desc(op.input, op.precision, config),
@@ -144,11 +164,17 @@ def _sdp_descriptor(
     input_desc = None
     if source is SdpSource.MEMORY:
         input_desc = _tensor_desc(op.input, op.precision, config)
+    dst_flying = isinstance(op, ConvOp) and op.has_pool_epilogue
+    if dst_flying:
+        output_desc = _flying_tensor_desc(op.sdp_out_shape, op.output.precision, config)
+    else:
+        output_desc = _tensor_desc(op.output, op.output.precision, config)
     return SdpDescriptor(
         source=source,
-        output=_tensor_desc(op.output, op.output.precision, config),
+        output=output_desc,
         out_precision=op.output.precision,
         input=input_desc,
+        dst_flying=dst_flying,
         bias_address=bias_address,
         eltwise=EltwiseOp.NONE if eltwise is None else _ELTWISE[eltwise],
         eltwise_input=eltwise_input,
@@ -163,6 +189,23 @@ def _sdp_descriptor(
 def _lower_one(op: HwOp, loadable: Loadable, config: HardwareConfig) -> FastPathOp:
     if isinstance(op, ConvOp):
         conv, sdp = _conv_descriptors(op, loadable, config)
+        if op.has_pool_epilogue:
+            pad_top, pad_bottom, pad_left, pad_right = op.pool_pad
+            pool = PdpDescriptor(
+                input=_flying_tensor_desc(op.sdp_out_shape, op.output.precision, config),
+                output=_tensor_desc(op.output, op.output.precision, config),
+                mode=_POOL[op.pool_mode],
+                kernel_w=op.pool_kernel[1],
+                kernel_h=op.pool_kernel[0],
+                stride_x=op.pool_stride[1],
+                stride_y=op.pool_stride[0],
+                pad_left=pad_left,
+                pad_top=pad_top,
+                pad_right=pad_right,
+                pad_bottom=pad_bottom,
+                src_flying=True,
+            )
+            return FastPathOp(op.name, "conv", "PDP", sdp, conv=conv, pool=pool)
         return FastPathOp(op.name, "conv", "SDP", sdp, conv=conv)
     if isinstance(op, SdpOp):
         sdp = _sdp_descriptor(op, loadable, config, source=SdpSource.MEMORY)
@@ -221,7 +264,9 @@ def execute_op(
     if op.kind == "conv":
         assert op.conv is not None
         acc = conv_pipeline.execute(op.conv, config, mcif, weight_cache=weight_cache)
-        sdp_mod.execute(op.descriptor, config, mcif, flying_input=acc)
+        result = sdp_mod.execute(op.descriptor, config, mcif, flying_input=acc)
+        if op.pool is not None:
+            pdp_mod.execute(op.pool, config, mcif, flying_input=result)
     elif op.kind == "sdp":
         sdp_mod.execute(op.descriptor, config, mcif)
     elif op.kind == "pdp":
@@ -242,6 +287,10 @@ def op_timing(
     """Price one lowered op with the engine's analytic model."""
     if op.kind == "conv":
         assert op.conv is not None
+        if op.pool is not None:
+            return fused_conv_pool_op_timing(
+                op.conv, op.descriptor, op.pool, config, cbuf, mcif, params
+            )
         return conv_op_timing(op.conv, op.descriptor, config, cbuf, mcif, params)
     if op.kind == "sdp":
         return sdp_op_timing(op.descriptor, config, mcif, params)

@@ -112,19 +112,50 @@ class _ChainBuilder:
         self.write(unit, f"{prefix}_LINE_STRIDE", line)
         self.write(unit, f"{prefix}_SURF_STRIDE", surf)
 
+    def write_flying_tensor(
+        self, unit: str, prefix: str, shape: tuple[int, int, int], precision: Precision
+    ) -> None:
+        """Cube geometry for an on-chip link: null address, real dims.
+
+        The strides stay canonical for the shape so the layout pass can
+        validate fused stages exactly like memory surfaces.
+        """
+        atom = self.config.atom_channels(precision)
+        c, h, w = shape
+        line, surf = feature_strides((c, h, w), atom, precision)
+        self.write(unit, f"{prefix}_ADDR_HIGH", 0)
+        self.write(unit, f"{prefix}_ADDR_LOW", 0)
+        self.write(unit, f"{prefix}_WIDTH", w)
+        self.write(unit, f"{prefix}_HEIGHT", h)
+        self.write(unit, f"{prefix}_CHANNEL", c)
+        self.write(unit, f"{prefix}_LINE_STRIDE", line)
+        self.write(unit, f"{prefix}_SURF_STRIDE", surf)
+
 
 def _precision_code(precision: Precision) -> int:
     return 0 if precision is Precision.INT8 else 1
 
 
 def _sdp_stage(b: _ChainBuilder, op: ConvOp | SdpOp, bias: bool) -> None:
-    """Common SDP core registers (fused conv or standalone)."""
+    """Common SDP core registers (fused conv or standalone).
+
+    With a fused pooling epilogue the SDP destination is the on-chip
+    link to PDP: the cube geometry is the *conv* output shape and the
+    address is null.  ``D_DST_FLYING`` is written unconditionally
+    because shadow groups are reused across chains — a stale flying
+    flag from a previous layer must never leak into this one.
+    """
     out = op.output
+    flying = isinstance(op, ConvOp) and op.has_pool_epilogue
+    out_shape = op.sdp_out_shape if isinstance(op, ConvOp) else out.shape
     b.write("SDP", "D_MISC_CFG", _precision_code(op.precision))
-    b.write("SDP", "D_DATA_CUBE_WIDTH", out.shape[2])
-    b.write("SDP", "D_DATA_CUBE_HEIGHT", out.shape[1])
-    b.write("SDP", "D_DATA_CUBE_CHANNEL", out.shape[0])
-    b.write_tensor("SDP", "D_DST", out)
+    b.write("SDP", "D_DATA_CUBE_WIDTH", out_shape[2])
+    b.write("SDP", "D_DATA_CUBE_HEIGHT", out_shape[1])
+    b.write("SDP", "D_DATA_CUBE_CHANNEL", out_shape[0])
+    if flying:
+        b.write_flying_tensor("SDP", "D_DST", out_shape, out.precision)
+    else:
+        b.write_tensor("SDP", "D_DST", out)
     b.write("SDP", "D_DP_BS_CFG", 1 if bias else 0)
     b.write("SDP", "D_DP_BN_CFG", 0)
     eltwise = getattr(op, "eltwise", None)
@@ -135,15 +166,18 @@ def _sdp_stage(b: _ChainBuilder, op: ConvOp | SdpOp, bias: bool) -> None:
     b.write("SDP", "D_CVT_MULT", op.cvt_mult)
     b.write("SDP", "D_CVT_SHIFT", op.cvt_shift)
     b.write("SDP", "D_OUT_PRECISION", _precision_code(out.precision))
+    b.write("SDP", "D_DST_FLYING", 1 if flying else 0)
 
 
 def _program_conv(b: _ChainBuilder, op: ConvOp, group: int, weight_base: int) -> str:
     prec = _precision_code(op.precision)
     k, c, r, s = op.kernel_shape
-    _, out_h, out_w = op.output.shape
+    _, out_h, out_w = op.sdp_out_shape
     weight_address = weight_base + (op.weight_offset or 0)
     pad_top, pad_bottom, pad_left, pad_right = op.pad
     conv_units = ("CACC", "CMAC_A", "CMAC_B", "CSC", "CDMA", "SDP_RDMA", "SDP")
+    if op.has_pool_epilogue:
+        conv_units += ("PDP_RDMA", "PDP")
     for unit in conv_units:
         b.select(unit, group)
 
@@ -195,12 +229,34 @@ def _program_conv(b: _ChainBuilder, op: ConvOp, group: int, weight_base: int) ->
 
     _sdp_stage(b, op, bias=op.bias_offset is not None)
 
+    if op.has_pool_epilogue:
+        # Fused PDP epilogue: the pool streams the SDP result on-chip.
+        # PDP_RDMA carries only the source cube geometry (null address)
+        # and, like SDP_RDMA in flying mode, is never enabled.
+        b.write_flying_tensor("PDP_RDMA", "D_SRC", op.sdp_out_shape, op.output.precision)
+        b.write("PDP", "D_MISC_CFG", _precision_code(op.precision))
+        b.write("PDP", "D_SRC_FLYING", 1)
+        b.write("PDP", "D_POOLING_METHOD", POOL_CODE[op.pool_mode])
+        b.write("PDP", "D_POOLING_KERNEL_WIDTH", op.pool_kernel[1])
+        b.write("PDP", "D_POOLING_KERNEL_HEIGHT", op.pool_kernel[0])
+        b.write("PDP", "D_POOLING_STRIDE_X", op.pool_stride[1])
+        b.write("PDP", "D_POOLING_STRIDE_Y", op.pool_stride[0])
+        pool_pad_top, pool_pad_bottom, pool_pad_left, pool_pad_right = op.pool_pad
+        b.write("PDP", "D_POOLING_PAD_LEFT", pool_pad_left)
+        b.write("PDP", "D_POOLING_PAD_RIGHT", pool_pad_right)
+        b.write("PDP", "D_POOLING_PAD_TOP", pool_pad_top)
+        b.write("PDP", "D_POOLING_PAD_BOTTOM", pool_pad_bottom)
+        b.write_tensor("PDP", "D_DST", op.output)
+
     # SDP_RDMA only carries the BRDMA configuration here; in flying
     # mode its DMA block is not part of the launched group, so it is
     # not enabled (enabling it would leave a group pending forever).
     for unit in ("CACC", "CMAC_A", "CMAC_B", "CSC", "CDMA"):
         b.enable(unit)
     b.enable("SDP")
+    if op.has_pool_epilogue:
+        b.enable("PDP")
+        return "PDP"
     return "SDP"
 
 
@@ -227,6 +283,7 @@ def _program_pool(b: _ChainBuilder, op: PoolOp, group: int) -> str:
         b.select(unit, group)
     b.write_tensor("PDP_RDMA", "D_SRC", op.input)
     b.write("PDP", "D_MISC_CFG", _precision_code(op.precision))
+    b.write("PDP", "D_SRC_FLYING", 0)
     b.write("PDP", "D_POOLING_METHOD", POOL_CODE[op.mode])
     b.write("PDP", "D_POOLING_KERNEL_WIDTH", op.kernel[1])
     b.write("PDP", "D_POOLING_KERNEL_HEIGHT", op.kernel[0])

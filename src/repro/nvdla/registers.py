@@ -129,6 +129,9 @@ _EXACT_FIELDS: dict[str, FieldSpec] = {
     "D_WEIGHT_SIZE_S": FieldSpec(width=5),
     "D_BANK_DATA": FieldSpec(width=6),
     "D_BANK_WEIGHT": FieldSpec(width=6),
+    # Fused-chain streaming flags: SDP result flies to PDP on-chip.
+    "D_DST_FLYING": FieldSpec(width=1),
+    "D_SRC_FLYING": FieldSpec(width=1),
 }
 
 # Suffix table for the tensor-surface register families

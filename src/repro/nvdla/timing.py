@@ -120,6 +120,78 @@ def conv_op_timing(
     )
 
 
+def fused_conv_pool_op_timing(
+    conv: ConvDescriptor,
+    sdp: SdpDescriptor,
+    pdp: PdpDescriptor,
+    config: HardwareConfig,
+    cbuf: Cbuf,
+    mcif: Mcif,
+    params: TimingParams,
+) -> OpTiming:
+    """Fully fused conv → SDP → PDP pipelined chain.
+
+    Versus the unfused pair, the intermediate surface never crosses the
+    DBB (no SDP write-back, no PDP_RDMA read) and the chain pays one
+    fixed launch + drain instead of two; the three compute stages are
+    pipelined, so the compute term is the max of the stage rates.
+    """
+    atomic_c, atomic_k = config.atoms(conv.precision)
+    atom = config.atom_channels(conv.precision)
+
+    w_bytes = weight_size_bytes(conv.weight_shape, atomic_c, atomic_k, conv.precision)
+    alloc = cbuf.default_split(w_bytes)
+    splits = cbuf.kernel_splits(w_bytes, alloc.weight_banks)
+
+    in_bytes = conv.input.packed_bytes(atom)
+    weight_dma = mcif.stream_cycles(conv.weight_address, w_bytes)
+    input_dma = mcif.stream_cycles(conv.input.address, in_bytes) * splits
+    operand_dma = _sdp_operand_dma(sdp, config, mcif)
+
+    out_atom = config.atom_channels(pdp.output.precision)
+    output_dma = mcif.stream_cycles(pdp.output.address, pdp.output.packed_bytes(out_atom))
+
+    mac_cycles = int(
+        round(
+            conv.padded_macs(atomic_c, atomic_k)
+            / config.macs_per_cycle(conv.precision)
+            / params.conv_stripe_efficiency
+        )
+    )
+    sdp_cycles = int(
+        round(
+            sdp.output.elements / (config.sdp_throughput * params.post_throughput_derate)
+        )
+    )
+    pdp_cycles = int(
+        round(pdp.input.elements / (config.pdp_throughput * params.post_throughput_derate))
+    )
+
+    dma_total = weight_dma + input_dma + operand_dma + output_dma
+    compute = max(mac_cycles, sdp_cycles, pdp_cycles)
+    busy = max(dma_total, compute)
+    total = params.op_fixed_cycles + busy + params.op_drain_cycles
+    return OpTiming(
+        kind="conv",
+        fixed=params.op_fixed_cycles + params.op_drain_cycles,
+        weight_dma=weight_dma,
+        input_dma=input_dma + operand_dma,
+        output_dma=output_dma,
+        compute=compute,
+        total=total,
+        detail={
+            "kernel_splits": splits,
+            "weight_bytes": w_bytes,
+            "macs": conv.macs,
+            "padded_macs": conv.padded_macs(atomic_c, atomic_k),
+            "mac_cycles": mac_cycles,
+            "sdp_cycles": sdp_cycles,
+            "pdp_cycles": pdp_cycles,
+            "fused": "conv+sdp+pdp",
+        },
+    )
+
+
 def sdp_op_timing(
     sdp: SdpDescriptor,
     config: HardwareConfig,

@@ -26,6 +26,7 @@ PDP_REGISTER_NAMES: list[str] = [
     "D_POOLING_PAD_TOP",
     "D_POOLING_PAD_BOTTOM",
     *tensor_register_names("D_DST"),
+    "D_SRC_FLYING",  # bit0: input streams on-chip from SDP (PDP_RDMA idle)
 ]
 
 
@@ -60,13 +61,28 @@ def parse(units: dict[str, Unit], group: int, config: HardwareConfig) -> PdpDesc
         pad_right=pdp.reg("D_POOLING_PAD_RIGHT", group),
         pad_top=pdp.reg("D_POOLING_PAD_TOP", group),
         pad_bottom=pdp.reg("D_POOLING_PAD_BOTTOM", group),
+        src_flying=bool(pdp.reg("D_SRC_FLYING", group) & 1),
     )
 
 
-def execute(desc: PdpDescriptor, config: HardwareConfig, mcif: Mcif) -> None:
+def execute(desc: PdpDescriptor, config: HardwareConfig, mcif: Mcif, flying_input=None) -> None:
+    """Pool the source cube and write the result.
+
+    ``flying_input`` carries the SDP result when the chain is fused
+    (``desc.src_flying``); otherwise the input is read through MCIF.
+    """
     atom = config.atom_channels(desc.input.precision)
-    blob = mcif.read(desc.input.address, desc.input.packed_bytes(atom))
-    x = unpack_feature(blob, desc.input.shape, atom, desc.input.precision)
+    if desc.src_flying:
+        if flying_input is None:
+            raise ConfigurationError("flying PDP op launched without an SDP result")
+        x = flying_input
+        if x.shape != desc.input.shape:
+            raise ConfigurationError(
+                f"PDP flying input shape {x.shape} != source descriptor {desc.input.shape}"
+            )
+    else:
+        blob = mcif.read(desc.input.address, desc.input.packed_bytes(atom))
+        x = unpack_feature(blob, desc.input.shape, atom, desc.input.precision)
     result = pool2d(
         x,
         desc.mode,

@@ -54,6 +54,7 @@ SDP_REGISTER_NAMES: list[str] = [
     "D_CVT_MULT",
     "D_CVT_SHIFT",
     "D_OUT_PRECISION",  # 0 = int8, 1 = fp16
+    "D_DST_FLYING",  # bit0: result streams on-chip to PDP (no memory write)
 ]
 
 
@@ -111,6 +112,7 @@ def parse(units: dict[str, Unit], group: int, config: HardwareConfig) -> SdpDesc
         cvt_shift=sdp.reg("D_CVT_SHIFT", group),
         ew_cvt_multiplier=sdp.reg("D_EW_CVT_MULT", group) or 1,
         ew_cvt_shift=sdp.reg("D_EW_CVT_SHIFT", group),
+        dst_flying=bool(sdp.reg("D_DST_FLYING", group) & 1),
     )
 
 
@@ -119,11 +121,13 @@ def execute(
     config: HardwareConfig,
     mcif: Mcif,
     flying_input: np.ndarray | None = None,
-) -> None:
-    """Run the SDP chain and write the result cube to memory.
+) -> np.ndarray | None:
+    """Run the SDP chain; write the result cube to memory.
 
     ``flying_input`` carries the convolution accumulators when the op
-    is fused (source = FLYING).
+    is fused (source = FLYING).  When the *destination* is flying
+    (``desc.dst_flying``) nothing is written: the result array is
+    returned for the downstream PDP stage instead.
     """
     channels = desc.output.channels
     if desc.source is SdpSource.FLYING:
@@ -184,5 +188,8 @@ def execute(
         raise ConfigurationError(
             f"SDP result shape {result.shape} != output descriptor {expected_shape}"
         )
+    if desc.dst_flying:
+        return result
     atom_out = config.atom_channels(desc.out_precision)
     mcif.write(desc.output.address, pack_feature(result, atom_out, desc.out_precision))
+    return None

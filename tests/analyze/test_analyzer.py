@@ -74,7 +74,7 @@ def test_report_json_round_trip(lenet_loadable):
     assert payload["clean"] is False
     assert payload["counts"]["error"] == len(report.errors)
     revived = [Diagnostic.from_dict(d) for d in payload["diagnostics"]]
-    assert revived == report.diagnostics
+    assert revived == report.sorted_diagnostics()
 
 
 def test_diagnostic_round_trip_and_render():

@@ -13,6 +13,14 @@ Compiler, VP or codegen changes that alter a register program —
 reordering, different addresses, different poll masks — fail here
 instead of silently drifting the deployed artefacts.
 
+Fixture history: regenerated when descriptor-level fusion became the
+default compile mode.  Conv→pool pairs now program the PDP inside the
+conv's own chain group (``D_SRC_FLYING=1``, null PDP_RDMA source
+address), so the intermediate DRAM surface, the standalone pool
+chain, and one interrupt poll per fused pair all disappear from the
+register program; standalone-pool register sequences are otherwise
+byte-identical.
+
 If a change is *intentional*, regenerate a fixture::
 
     PYTHONPATH=src python - <<'EOF'

@@ -1,19 +1,26 @@
-"""Fusion planning: pruning, BN/Scale folding, concat aliasing."""
+"""Fusion planning: pruning, BN/Scale folding, concat aliasing,
+descriptor-chain collapse."""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
+from repro.compiler import CompileOptions, compile_network
 from repro.compiler.fusion import (
+    FusionPlan,
     fold_batchnorm_scale,
+    fuse_descriptor_chains,
     fused_output_blob,
     plan_concats,
     plan_fusion,
     prune_to_output,
 )
+from repro.errors import CompilerError
 from repro.nn.graph import Network
+from repro.nn.layers import PoolKind
 from repro.nn.zoo import googlenet
+from repro.nvdla import NV_SMALL
 
 
 def test_prune_drops_unreachable_layers():
@@ -113,6 +120,63 @@ def test_fold_bn_scale_matches_reference(residual_net, rng):
     folded += b.reshape(-1, 1, 1)
     folded = np.maximum(folded, 0)
     assert np.allclose(folded, expected, rtol=2e-2, atol=2e-2)
+
+
+def test_resolve_blob_rejects_cyclic_aliases():
+    """Regression guard: a cyclic alias chain must raise, not hang."""
+    plan = FusionPlan(aliases={"a": "b", "b": "a"})
+    with pytest.raises(CompilerError, match="cyclic blob alias"):
+        plan.resolve_blob("a")
+    with pytest.raises(CompilerError):  # self-alias: degenerate cycle
+        FusionPlan(aliases={"x": "x"}).resolve_blob("x")
+    # Acyclic chains still resolve through every hop.
+    assert FusionPlan(aliases={"a": "b", "b": "c"}).resolve_blob("a") == "c"
+
+
+def test_descriptor_chain_fuses_private_pool(tiny_net):
+    """A pool whose input exists only to feed it collapses into the
+    producing conv as a flying PDP epilogue."""
+    loadable = compile_network(tiny_net, NV_SMALL, CompileOptions(fusion="graph"))
+    schedule = loadable.schedule
+    assert [op.kind for op in schedule.ops] == ["conv", "pool", "conv", "cpusoftmax"]
+    pool_output = schedule.ops[1].output
+    assert fuse_descriptor_chains(schedule) == 1
+    assert [op.kind for op in schedule.ops] == ["conv", "conv", "cpusoftmax"]
+    conv = schedule.ops[0]
+    assert conv.has_pool_epilogue
+    assert conv.conv_out_shape is not None
+    assert conv.sdp_out_shape == conv.conv_out_shape
+    assert conv.output is pool_output  # the chain now writes the pool's surface
+
+
+def test_descriptor_chain_keeps_shared_intermediate():
+    """A conv output with two readers is not private: neither pool may
+    absorb it, or the other reader would see garbage."""
+    net = Network("shared", seed=3)
+    data = net.add_input("data", (4, 8, 8))
+    conv = net.add_conv("conv", data, num_output=8, kernel_size=3, pad=1)
+    p1 = net.add_pool("p1", conv, PoolKind.MAX, kernel_size=2, stride=2)
+    p2 = net.add_pool("p2", conv, PoolKind.AVE, kernel_size=2, stride=2)
+    cat = net.add_concat("cat", [p1, p2])
+    net.add_fc("fc", cat, num_output=2)
+    net.validate()
+    loadable = compile_network(net, NV_SMALL)  # descriptor fusion default
+    kinds = [op.kind for op in loadable.schedule.ops]
+    assert kinds.count("pool") == 2
+    assert not any(
+        getattr(op, "has_pool_epilogue", False) for op in loadable.schedule.ops
+    )
+
+
+def test_fusion_off_emits_one_chain_per_layer(tiny_net):
+    """``fusion="off"`` de-absorbs ReLU into a standalone SDP op and
+    keeps the pool as its own chain — one descriptor chain per layer."""
+    loadable = compile_network(tiny_net, NV_SMALL, CompileOptions(fusion="off"))
+    kinds = [op.kind for op in loadable.schedule.ops]
+    assert kinds == ["conv", "sdp", "pool", "conv", "cpusoftmax"]
+    conv = loadable.schedule.ops[0]
+    assert not conv.relu and not conv.has_pool_epilogue
+    assert loadable.schedule.ops[1].relu
 
 
 def test_concat_aliases_offsets(branchy_net):

@@ -22,12 +22,17 @@ def _op_kinds(loadable):
 def test_tiny_net_lowering(tiny_net):
     loadable = compile_network(tiny_net, NV_SMALL)
     kinds = _op_kinds(loadable)
-    # conv(+relu fused), pool, fc-as-conv, cpu softmax
-    assert kinds == ["conv", "pool", "conv", "cpusoftmax"]
+    # conv(+relu absorbed, +pool pulled in as a fused PDP epilogue),
+    # fc-as-conv, cpu softmax
+    assert kinds == ["conv", "conv", "cpusoftmax"]
     conv = loadable.schedule.ops[0]
     assert conv.relu  # absorbed
-    fc = loadable.schedule.ops[2]
+    assert conv.has_pool_epilogue  # descriptor fusion collapsed the pool
+    fc = loadable.schedule.ops[1]
     assert fc.kernel_shape == (4, 8, 3, 3)  # kernel spans the pooled cube
+    # Graph-level fusion keeps the standalone pool chain.
+    graph = compile_network(tiny_net, NV_SMALL, CompileOptions(fusion="graph"))
+    assert _op_kinds(graph) == ["conv", "pool", "conv", "cpusoftmax"]
 
 
 def test_residual_net_int8_fuses_eltwise_with_operand_converter(residual_net):

@@ -74,4 +74,7 @@ def test_fusion_saves_memory_traffic_on_resnet18():
     net = resnet18_cifar()
     fused = compile_network(net, NV_SMALL, CompileOptions(fuse_eltwise=True))
     unfused = compile_network(net, NV_SMALL, CompileOptions(fuse_eltwise=False))
-    assert fused.hw_op_count() == unfused.hw_op_count() - 8  # 8 residual adds
+    # 8 residual adds, plus the global-avg pool: with the adds
+    # materialised the pool trails an SDP op and cannot chain into a
+    # conv, so the ablated schedule keeps it standalone too.
+    assert fused.hw_op_count() == unfused.hw_op_count() - 9
